@@ -1,0 +1,97 @@
+// Figure 1 (paper §3): "picturing the misses" — per-merge-level L2 hit/miss
+// behaviour of parallel Mergesort under PDF vs WS when sorting an array of
+// C_P bytes (the shared L2 capacity) on 8 cores.
+//
+// The paper's picture: with P cores, PDF eliminates the misses in the top
+// log2(P) merge levels (all cores cooperate on one merge whose working set
+// fits in L2), while WS misses on all of them (each core works on its own
+// sub-array; the aggregate working set is 2x the L2).
+//
+// We reproduce the picture by aggregating per-task miss ratios by merge
+// output size and rendering one row per level:  '#' mostly misses,
+// '.' mostly hits, '~' mixed.
+//
+// Usage: fig1_mergesort_picture [--cores=8] [--scale=0.125]
+#include <iostream>
+#include <map>
+
+#include "harness/apps.h"
+#include "simarch/engine.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "workloads/mergesort.h"
+
+using namespace cachesched;
+
+namespace {
+
+// Aggregates refs/misses per sort-group size (the merge level structure).
+struct LevelStats {
+  uint64_t refs = 0;
+  uint64_t misses = 0;
+};
+
+std::map<uint64_t, LevelStats> per_level(const TaskDag& dag,
+                                         const SimResult& r) {
+  std::map<uint64_t, LevelStats> levels;  // key: group param (elements)
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    GroupId g = dag.task(t).group;
+    // Walk up to the nearest *sort* group (site 1).
+    while (g != kNoGroup && dag.group(g).line != 1) g = dag.group(g).parent;
+    if (g == kNoGroup) continue;
+    auto& l = levels[static_cast<uint64_t>(dag.group(g).param)];
+    l.refs += r.task_refs[t];
+    l.misses += r.task_l2_misses[t];
+  }
+  return levels;
+}
+
+char glyph(double miss_ratio) {
+  if (miss_ratio > 0.6) return '#';
+  if (miss_ratio < 0.25) return '.';
+  return '~';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int cores = static_cast<int>(args.get_int("cores", 8));
+  const double scale = args.get_double("scale", 0.125);
+
+  CmpConfig cfg = default_config(cores).scaled(scale);
+  // Sort exactly C_P bytes, as in the figure.
+  MergesortParams p;
+  p.num_elems = cfg.l2_bytes / p.elem_bytes;
+  p.l2_bytes = cfg.l2_bytes;
+  p.line_bytes = cfg.line_bytes;
+  p.task_ws_bytes = std::max<uint64_t>(cfg.l2_bytes / (2 * cores), 4096);
+  const Workload w = build_mergesort(p);
+
+  std::cout << "Figure 1: Mergesort of C_P = " << cfg.l2_bytes / 1024
+            << "KB on " << cores << " cores (" << w.params << ")\n"
+            << "level rows: '#' mostly L2 misses, '.' mostly hits, '~' mixed\n";
+
+  for (const char* sched : {"ws", "pdf"}) {
+    CmpSimulator sim(cfg);
+    sim.set_collect_task_stats(true);
+    auto s = make_scheduler(sched);
+    const SimResult r = sim.run(w.dag, *s);
+    std::cout << "\n--- " << sched << " (total L2 misses: " << r.l2_misses
+              << ") ---\n";
+    Table t({"merge_output_elems", "refs", "misses", "miss_ratio", "picture"});
+    for (const auto& [elems, l] : per_level(w.dag, r)) {
+      const double ratio =
+          l.refs ? static_cast<double>(l.misses) / static_cast<double>(l.refs)
+                 : 0.0;
+      const int bars = 12;
+      std::string pic(bars, glyph(ratio));
+      t.add_row({Table::num(elems), Table::num(l.refs), Table::num(l.misses),
+                 Table::num(ratio, 3), pic});
+    }
+    t.emit();
+  }
+  std::cout << "\nExpected (paper): PDF's top log2(P) levels flip from"
+               " misses to hits relative to WS.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 2 (paper §5.1): PDF vs WS on the default (Table 2) CMP
+// configurations — speedup over sequential and L2 misses per 1000
+// instructions, for LU (a,b), Hash Join (c,d) and Mergesort (e,f).
+//
+// Usage:
+//   fig2_default_configs [--app=lu|hashjoin|mergesort|all]
+//                        [--scale=0.125] [--cores=1,2,4,8,16,32]
+//                        [--csv=prefix]
+//
+// Like the paper, LU is reported only up to 16 cores (its input is smaller
+// than the 32-core L2).
+#include <iostream>
+
+#include "harness/apps.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace cachesched;
+
+namespace {
+
+void run_app(const std::string& app, const std::vector<int64_t>& cores,
+             double scale, const std::string& csv) {
+  Table t({"cores", "sched", "cycles", "speedup", "L2miss/1Kinstr",
+           "pdf_miss_reduction%", "pdf_vs_ws_speedup", "bw_util%", "steals"});
+  std::string params;
+  for (int64_t c : cores) {
+    if (app == "lu" && c > 16) continue;  // paper: input < 32-core L2
+    const CmpConfig cfg = default_config(static_cast<int>(c)).scaled(scale);
+    AppOptions opt;
+    opt.scale = scale;
+    const Workload w = make_app(app, cfg, opt);
+    params = w.params;
+    const SimResult seq = simulate_sequential(w, cfg);
+    const SimResult pdf = simulate_app(w, cfg, "pdf");
+    const SimResult ws = simulate_app(w, cfg, "ws");
+    const double red = ws.l2_misses_per_kilo_instr() > 0
+                           ? 100.0 * (ws.l2_misses_per_kilo_instr() -
+                                      pdf.l2_misses_per_kilo_instr()) /
+                                 ws.l2_misses_per_kilo_instr()
+                           : 0.0;
+    const double rel = pdf.cycles ? static_cast<double>(ws.cycles) /
+                                        static_cast<double>(pdf.cycles)
+                                  : 0.0;
+    for (const SimResult* r : {&pdf, &ws}) {
+      const bool is_pdf = r == &pdf;
+      t.add_row({Table::num(static_cast<int64_t>(c)), r->scheduler,
+                 Table::num(r->cycles), Table::num(r->speedup_over(seq), 2),
+                 Table::num(r->l2_misses_per_kilo_instr(), 3),
+                 is_pdf ? Table::num(red, 1) : "-",
+                 is_pdf ? Table::num(rel, 2) : "-",
+                 Table::num(100.0 * r->mem_bandwidth_utilization(), 1),
+                 Table::num(r->steals)});
+    }
+  }
+  std::cout << "\n=== Figure 2: " << app << " (" << params << ") ===\n";
+  t.emit(csv.empty() ? "" : csv + "_" + app + ".csv");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::string app = args.get("app", "all");
+  const double scale = args.get_double("scale", 0.125);
+  const auto cores = args.get_int_list("cores", {1, 2, 4, 8, 16, 32});
+  const std::string csv = args.get("csv", "");
+  const auto apps = app == "all"
+                        ? std::vector<std::string>{"lu", "hashjoin", "mergesort"}
+                        : std::vector<std::string>{app};
+  for (const auto& a : apps) run_app(a, cores, scale, csv);
+  for (const auto& u : args.unused()) {
+    std::cerr << "warning: unused argument --" << u << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 3 (paper §5.2): execution time of Hash Join and Mergesort across
+// the 45 nm single-technology design points (Table 3: 1 core / 48 MB L2
+// down to 26 cores / 1 MB L2), under PDF and WS.
+//
+// Expected shape: execution time falls steeply up to ~10 cores and then
+// flattens; zooming in, Hash Join bottoms out around 18 cores and rises
+// again (memory-bandwidth-bound, >95% utilization), while Mergesort keeps
+// improving to 24-26 cores. PDF wins at every design point.
+//
+// Usage: fig3_single_tech [--apps=hashjoin,mergesort] [--scale=0.125]
+//                         [--csv=prefix]
+#include <iostream>
+#include <sstream>
+
+#include "harness/apps.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace cachesched;
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 0.125);
+  const auto apps = split_list(args.get("apps", "hashjoin,mergesort"));
+  const std::string csv = args.get("csv", "");
+
+  for (const auto& app : apps) {
+    Table t({"cores", "L2_KB", "pdf_cycles", "ws_cycles", "pdf_vs_ws",
+             "pdf_bw%", "ws_bw%"});
+    std::string params;
+    uint64_t best_pdf = UINT64_MAX, best_ws = UINT64_MAX;
+    int best_pdf_cores = 0, best_ws_cores = 0;
+    for (const CmpConfig& base : single_tech_45nm_configs()) {
+      const CmpConfig cfg = base.scaled(scale);
+      AppOptions opt;
+      opt.scale = scale;
+      const Workload w = make_app(app, cfg, opt);
+      params = w.params;
+      const SimResult pdf = simulate_app(w, cfg, "pdf");
+      const SimResult ws = simulate_app(w, cfg, "ws");
+      if (pdf.cycles < best_pdf) {
+        best_pdf = pdf.cycles;
+        best_pdf_cores = cfg.cores;
+      }
+      if (ws.cycles < best_ws) {
+        best_ws = ws.cycles;
+        best_ws_cores = cfg.cores;
+      }
+      t.add_row({Table::num(static_cast<int64_t>(cfg.cores)),
+                 Table::num(cfg.l2_bytes / 1024), Table::num(pdf.cycles),
+                 Table::num(ws.cycles),
+                 Table::num(static_cast<double>(ws.cycles) /
+                                static_cast<double>(pdf.cycles), 3),
+                 Table::num(100.0 * pdf.mem_bandwidth_utilization(), 1),
+                 Table::num(100.0 * ws.mem_bandwidth_utilization(), 1)});
+    }
+    std::cout << "\n=== Figure 3: " << app << " on 45nm design points ("
+              << params << ") ===\n";
+    t.emit(csv.empty() ? "" : csv + "_" + app + ".csv");
+    std::cout << "best pdf: " << best_pdf_cores << " cores (" << best_pdf
+              << " cycles); best ws: " << best_ws_cores << " cores ("
+              << best_ws << " cycles)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 4 (paper §5.3): sensitivity to L2 hit time on the 16-core default
+// configuration — hit times of 7 cycles (a fast distributed L2's local
+// bank) and 19 cycles (the monolithic shared L2 of Table 2).
+//
+// The paper's headline observation: PDF on the *slow* 19-cycle L2 still
+// beats WS on the *fast* 7-cycle L2, because for Hash Join and Mergesort
+// L2 misses dominate so hit time barely matters.
+//
+// Usage: fig4_l2_hit_time [--apps=hashjoin,mergesort] [--scale=0.125]
+//                         [--hits=7,19] [--cores=16] [--csv=prefix]
+#include <iostream>
+#include <sstream>
+
+#include "harness/apps.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace cachesched;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 0.125);
+  const int cores = static_cast<int>(args.get_int("cores", 16));
+  const auto hits = args.get_int_list("hits", {7, 19});
+  const std::string csv = args.get("csv", "");
+  std::stringstream apps_ss(args.get("apps", "hashjoin,mergesort"));
+
+  std::string app;
+  while (std::getline(apps_ss, app, ',')) {
+    Table t({"l2_hit_cycles", "pdf_cycles", "ws_cycles", "pdf_vs_ws"});
+    uint64_t pdf_slowest = 0, ws_fastest = UINT64_MAX;
+    for (int64_t h : hits) {
+      CmpConfig cfg = default_config(cores).scaled(scale);
+      cfg.l2_hit_cycles = static_cast<int>(h);
+      cfg.name += "-hit" + std::to_string(h);
+      AppOptions opt;
+      opt.scale = scale;
+      const Workload w = make_app(app, cfg, opt);
+      const SimResult pdf = simulate_app(w, cfg, "pdf");
+      const SimResult ws = simulate_app(w, cfg, "ws");
+      pdf_slowest = std::max(pdf_slowest, pdf.cycles);
+      ws_fastest = std::min(ws_fastest, ws.cycles);
+      t.add_row({Table::num(h), Table::num(pdf.cycles), Table::num(ws.cycles),
+                 Table::num(static_cast<double>(ws.cycles) /
+                                static_cast<double>(pdf.cycles), 3)});
+    }
+    std::cout << "\n=== Figure 4: " << app << ", " << cores
+              << "-core default, varying L2 hit time ===\n";
+    t.emit(csv.empty() ? "" : csv + "_" + app + ".csv");
+    std::cout << "PDF on slowest L2 vs WS on fastest L2: "
+              << Table::num(static_cast<double>(ws_fastest) /
+                                static_cast<double>(pdf_slowest), 3)
+              << "x " << (pdf_slowest <= ws_fastest ? "(PDF still wins)"
+                                                    : "(WS wins)")
+              << "\n";
+
+    // The §5.3 headline restated with an explicit distributed-L2 *model*:
+    // WS on a banked S-NUCA-style L2 (7-cycle local bank + 1 cycle/hop)
+    // vs PDF on the monolithic 19-cycle L2.
+    {
+      CmpConfig banked = default_config(cores).scaled(scale);
+      banked.l2_banks = cores;
+      banked.name += "-banked";
+      CmpConfig mono = default_config(cores).scaled(scale);
+      mono.l2_hit_cycles = 19;
+      AppOptions opt;
+      opt.scale = scale;
+      const Workload w = make_app(app, banked, opt);
+      const uint64_t ws_banked = simulate_app(w, banked, "ws").cycles;
+      const uint64_t pdf_mono = simulate_app(w, mono, "pdf").cycles;
+      std::cout << "PDF on monolithic 19-cycle L2 vs WS on banked distributed "
+                   "L2: "
+                << Table::num(static_cast<double>(ws_banked) /
+                                  static_cast<double>(pdf_mono), 3)
+                << "x "
+                << (pdf_mono <= ws_banked ? "(PDF still wins)" : "(WS wins)")
+                << "\n";
+    }
+  }
+  return 0;
+}

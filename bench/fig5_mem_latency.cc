@@ -1,0 +1,50 @@
+// Figure 5 (paper §5.3): sensitivity to main-memory latency (100-1100
+// cycles) on the 16-core default configuration, for Hash Join and
+// Mergesort. PDF's advantage persists across the whole range (paper:
+// 1.21-1.62x for Hash Join, 1.03-1.29x for Mergesort).
+//
+// Usage: fig5_mem_latency [--apps=hashjoin,mergesort] [--scale=0.125]
+//                         [--latencies=100,300,500,700,900,1100]
+//                         [--cores=16] [--csv=prefix]
+#include <iostream>
+#include <sstream>
+
+#include "harness/apps.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace cachesched;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 0.125);
+  const int cores = static_cast<int>(args.get_int("cores", 16));
+  const auto lats = args.get_int_list("latencies", {100, 300, 500, 700, 900, 1100});
+  const std::string csv = args.get("csv", "");
+  std::stringstream apps_ss(args.get("apps", "hashjoin,mergesort"));
+
+  std::string app;
+  while (std::getline(apps_ss, app, ',')) {
+    Table t({"mem_latency", "pdf_cycles", "ws_cycles", "pdf_vs_ws",
+             "pdf_bw%", "ws_bw%"});
+    for (int64_t lat : lats) {
+      CmpConfig cfg = default_config(cores).scaled(scale);
+      cfg.mem_latency_cycles = static_cast<int>(lat);
+      cfg.name += "-lat" + std::to_string(lat);
+      AppOptions opt;
+      opt.scale = scale;
+      const Workload w = make_app(app, cfg, opt);
+      const SimResult pdf = simulate_app(w, cfg, "pdf");
+      const SimResult ws = simulate_app(w, cfg, "ws");
+      t.add_row({Table::num(lat), Table::num(pdf.cycles), Table::num(ws.cycles),
+                 Table::num(static_cast<double>(ws.cycles) /
+                                static_cast<double>(pdf.cycles), 3),
+                 Table::num(100.0 * pdf.mem_bandwidth_utilization(), 1),
+                 Table::num(100.0 * ws.mem_bandwidth_utilization(), 1)});
+    }
+    std::cout << "\n=== Figure 5: " << app << ", " << cores
+              << "-core default, varying memory latency ===\n";
+    t.emit(csv.empty() ? "" : csv + "_" + app + ".csv");
+  }
+  return 0;
+}

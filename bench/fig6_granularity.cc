@@ -1,0 +1,64 @@
+// Figure 6 (paper §5.4): impact of task granularity on parallel Mergesort.
+// Sweeps the per-task working-set size (paper x-axis: 8 MB down to 32 KB at
+// full scale; scaled proportionally here) and reports L2 misses per 1000
+// instructions and execution time for the 32-core and 16-core default
+// configurations.
+//
+// Expected shape: WS's cache performance is flat across task sizes; PDF's
+// improves steadily as tasks get finer (fewer than half WS's misses at the
+// finest grain on 32 cores), so the PDF advantage grows with finer grain.
+//
+// Usage: fig6_granularity [--scale=0.125] [--cores=32,16] [--csv=prefix]
+#include <iostream>
+
+#include "harness/apps.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace cachesched;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 0.125);
+  const auto core_list = args.get_int_list("cores", {32, 16});
+  const std::string csv = args.get("csv", "");
+
+  // Paper sweep: 8M, 4M, 2M, 1M, 512K, 256K, 128K, 64K, 32K task working
+  // sets, scaled like everything else.
+  std::vector<uint64_t> ws_sizes;
+  for (uint64_t s = 8ull << 20; s >= 32ull << 10; s /= 2) {
+    ws_sizes.push_back(
+        std::max<uint64_t>(static_cast<uint64_t>(s * scale), 2048));
+  }
+
+  for (int64_t cores : core_list) {
+    const CmpConfig cfg = default_config(static_cast<int>(cores)).scaled(scale);
+    Table t({"task_ws_KB", "pdf_mpki", "ws_mpki", "pdf_cycles", "ws_cycles",
+             "pdf_vs_ws"});
+    uint64_t best_pdf = UINT64_MAX, best_ws = UINT64_MAX;
+    for (uint64_t ws_bytes : ws_sizes) {
+      AppOptions opt;
+      opt.scale = scale;
+      opt.mergesort_task_ws = ws_bytes;
+      const Workload w = make_app("mergesort", cfg, opt);
+      const SimResult pdf = simulate_app(w, cfg, "pdf");
+      const SimResult ws = simulate_app(w, cfg, "ws");
+      best_pdf = std::min(best_pdf, pdf.cycles);
+      best_ws = std::min(best_ws, ws.cycles);
+      t.add_row({Table::num(ws_bytes / 1024),
+                 Table::num(pdf.l2_misses_per_kilo_instr(), 3),
+                 Table::num(ws.l2_misses_per_kilo_instr(), 3),
+                 Table::num(pdf.cycles), Table::num(ws.cycles),
+                 Table::num(static_cast<double>(ws.cycles) /
+                                static_cast<double>(pdf.cycles), 3)});
+    }
+    std::cout << "\n=== Figure 6: Mergesort task granularity sweep, " << cores
+              << "-core default config ===\n";
+    t.emit(csv.empty() ? "" : csv + "_" + std::to_string(cores) + "c.csv");
+    std::cout << "best-vs-best (each scheduler at its optimal task size): "
+              << Table::num(static_cast<double>(best_ws) /
+                                static_cast<double>(best_pdf), 3)
+              << "x PDF advantage\n";
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 8 (paper §6.2): effectiveness of automatic task-grain selection
+// for Mergesort on the 32/16/8-core default configurations. Three schemes:
+//
+//  * previous — the manual selection used throughout §5
+//    (task working set = L2 / (2 * cores));
+//  * cache/(2*cores) dag — profile a finest-grain run with the one-pass
+//    working-set profiler, apply the §6.2 stop criterion, and *substitute
+//    the coarsened DAG* (each selected task group collapsed into a serial
+//    task that still contains the parallel-code overhead);
+//  * cache/(2*cores) actual — use the resulting Figure-7(b) parallelization
+//    thresholds to *regenerate* the program at the selected granularity.
+//
+// Paper result: the "actual" bars are within 5% of the best in all cases.
+//
+// Usage: fig8_coarsening [--scale=0.125] [--cores=32,16,8] [--csv=path]
+#include <iostream>
+
+#include "coarsen/coarsen.h"
+#include "harness/apps.h"
+#include "profile/ws_profiler.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "workloads/mergesort.h"
+
+using namespace cachesched;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 0.125);
+  const auto core_list = args.get_int_list("cores", {32, 16, 8});
+  const std::string csv = args.get("csv", "");
+
+  Table t({"cores", "scheme", "cycles", "normalized_to_best", "threshold_KB"});
+  for (int64_t cores : core_list) {
+    const CmpConfig cfg = default_config(static_cast<int>(cores)).scaled(scale);
+
+    // Scheme 1: the manual selection of Section 5.
+    AppOptions manual;
+    manual.scale = scale;
+    const Workload w_manual = make_app("mergesort", cfg, manual);
+    const uint64_t cyc_prev = simulate_app(w_manual, cfg, "pdf").cycles;
+
+    // Profile a finest-grain version once (programs are written
+    // fine-grained; the profiler suggests coarsening).
+    AppOptions fine;
+    fine.scale = scale;
+    fine.mergesort_task_ws =
+        std::max<uint64_t>(static_cast<uint64_t>(32.0 * 1024 * scale), 2048);
+    const Workload w_fine = make_app("mergesort", cfg, fine);
+    WorkingSetProfiler prof({cfg.l2_bytes}, cfg.line_bytes);
+    prof.run(w_fine.dag);
+
+    CoarsenParams cp;
+    cp.cache_bytes = cfg.l2_bytes;
+    cp.num_cores = cfg.cores;
+    const CoarsenResult sel = select_task_granularity(w_fine.dag, prof, cp);
+
+    // Scheme 2 ("dag"): same finest-grain trace, coarsened task DAG.
+    const TaskDag dag2 = coarsen_dag(w_fine.dag, sel.stopping_groups);
+    Workload w_dag;
+    w_dag.name = "mergesort-coarsened";
+    w_dag.dag = dag2;
+    const uint64_t cyc_dag = simulate_app(w_dag, cfg, "pdf").cycles;
+
+    // Scheme 3 ("actual"): regenerate the program from the thresholds.
+    // The sort call site's threshold T is in elements; the corresponding
+    // per-task working set is 2 * T * elem_bytes (§5.4).
+    const int64_t thr =
+        sel.table.threshold(cfg.l2_bytes, cfg.cores, "workloads/mergesort.cc",
+                            /*kSortSite=*/1);
+    AppOptions actual;
+    actual.scale = scale;
+    actual.mergesort_task_ws =
+        thr > 0 ? static_cast<uint64_t>(thr) * 2 * 4 : fine.mergesort_task_ws;
+    const Workload w_actual = make_app("mergesort", cfg, actual);
+    const uint64_t cyc_actual = simulate_app(w_actual, cfg, "pdf").cycles;
+
+    const uint64_t best = std::min({cyc_prev, cyc_dag, cyc_actual});
+    auto row = [&](const char* scheme, uint64_t cyc) {
+      t.add_row({Table::num(cores), scheme, Table::num(cyc),
+                 Table::num(static_cast<double>(cyc) /
+                                static_cast<double>(best), 4),
+                 Table::num(actual.mergesort_task_ws / 1024)});
+    };
+    row("previous", cyc_prev);
+    row("cache/(2*cores) dag", cyc_dag);
+    row("cache/(2*cores) actual", cyc_actual);
+  }
+  std::cout << "\n=== Figure 8: automatic task-grain selection (Mergesort, "
+               "PDF) ===\n";
+  t.emit(csv);
+  return 0;
+}

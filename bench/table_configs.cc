@@ -1,0 +1,44 @@
+// Tables 1-3 (paper §4.1): prints the encoded CMP configurations so runs
+// are self-documenting and the values can be diffed against the paper.
+//
+// Usage: table_configs [--scale=1.0]
+#include <iostream>
+
+#include "simarch/config.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace cachesched;
+
+namespace {
+
+void print(const std::vector<CmpConfig>& configs, const std::string& title,
+           double scale) {
+  Table t({"cores", "L2_KB", "assoc", "L2_hit_cyc", "L1_KB", "line_B",
+           "mem_lat", "mem_svc"});
+  for (const CmpConfig& base : configs) {
+    const CmpConfig c = scale == 1.0 ? base : base.scaled(scale);
+    t.add_row({Table::num(static_cast<int64_t>(c.cores)),
+               Table::num(c.l2_bytes / 1024),
+               Table::num(static_cast<int64_t>(c.l2_ways)),
+               Table::num(static_cast<int64_t>(c.l2_hit_cycles)),
+               Table::num(c.l1_bytes / 1024),
+               Table::num(static_cast<int64_t>(c.line_bytes)),
+               Table::num(static_cast<int64_t>(c.mem_latency_cycles)),
+               Table::num(static_cast<int64_t>(c.mem_service_cycles))});
+  }
+  std::cout << "\n=== " << title << " ===\n";
+  t.emit();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 1.0);
+  print(default_configs(), "Table 2: default (scaling technology) configs",
+        scale);
+  print(single_tech_45nm_configs(), "Table 3: 45nm single-technology configs",
+        scale);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// §5.1/§5.5 summary: PDF vs WS across the full benchmark suite on the
+// default configurations — the paper's qualitative classification:
+//
+//  * Hash Join, Mergesort (non-trivial working sets, L2 misses/1000 instr
+//    on the order of 0.1% or more): PDF wins, up to 1.3-1.6x.
+//  * LU, Matrix Multiply (small working sets): PDF matches WS in time but
+//    still shrinks the working set / misses.
+//  * Quicksort (irregular divide-and-conquer), Heat (regular scientific):
+//    intermediate, PDF >= WS.
+//
+// Usage: table_summary [--scale=0.125] [--cores=8,16,32] [--csv=path]
+#include <iostream>
+
+#include "harness/apps.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace cachesched;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 0.125);
+  const auto core_list = args.get_int_list("cores", {8, 16, 32});
+  const std::string csv = args.get("csv", "");
+
+  Table t({"app", "cores", "pdf_mpki", "ws_mpki", "pdf_miss_reduction%",
+           "pdf_vs_ws_speedup", "ws_bw%"});
+  for (const std::string& app : known_apps()) {
+    for (int64_t c : core_list) {
+      if (app == "lu" && c > 16) continue;
+      const CmpConfig cfg = default_config(static_cast<int>(c)).scaled(scale);
+      AppOptions opt;
+      opt.scale = scale;
+      const Workload w = make_app(app, cfg, opt);
+      const SimResult pdf = simulate_app(w, cfg, "pdf");
+      const SimResult ws = simulate_app(w, cfg, "ws");
+      const double red =
+          ws.l2_misses
+              ? 100.0 * (static_cast<double>(ws.l2_misses) -
+                         static_cast<double>(pdf.l2_misses)) /
+                    static_cast<double>(ws.l2_misses)
+              : 0.0;
+      t.add_row({app, Table::num(c),
+                 Table::num(pdf.l2_misses_per_kilo_instr(), 3),
+                 Table::num(ws.l2_misses_per_kilo_instr(), 3),
+                 Table::num(red, 1),
+                 Table::num(static_cast<double>(ws.cycles) /
+                                static_cast<double>(pdf.cycles), 3),
+                 Table::num(100.0 * ws.mem_bandwidth_utilization(), 1)});
+    }
+  }
+  std::cout << "\n=== Sections 5.1/5.5: benchmark summary (PDF vs WS) ===\n";
+  t.emit(csv);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Extending the library: implement a custom scheduler against the
+// Scheduler interface and evaluate it in the simulator next to PDF/WS.
+//
+// The example scheduler is "random greedy": it hands an arbitrary
+// (seeded-random) ready task to each requesting core. Comparing it to PDF
+// and WS separates how much of PDF's win is *policy* rather than mere
+// greedy load balance.
+//
+//   $ ./custom_scheduler [--scale=0.0625] [--cores=16]
+#include <cstdio>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "harness/apps.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+using namespace cachesched;
+
+namespace {
+
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(uint64_t seed) : rng_(seed) {}
+
+  void reset(const TaskDag& dag, int num_cores) override {
+    (void)dag;
+    (void)num_cores;
+    ready_.clear();
+  }
+  void enqueue_ready(int core, std::span<const TaskId> ready) override {
+    (void)core;
+    ready_.insert(ready_.end(), ready.begin(), ready.end());
+  }
+  TaskId acquire(int core) override {
+    (void)core;
+    if (ready_.empty()) return kNoTask;
+    const size_t i = rng_.next_below(ready_.size());
+    const TaskId t = ready_[i];
+    ready_[i] = ready_.back();
+    ready_.pop_back();
+    return t;
+  }
+  bool empty() const override { return ready_.empty(); }
+  const char* name() const override { return "random"; }
+
+ private:
+  std::vector<TaskId> ready_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 0.0625);
+  const int cores = static_cast<int>(args.get_int("cores", 16));
+  const CmpConfig cfg = default_config(cores).scaled(scale);
+
+  AppOptions opt;
+  opt.scale = scale;
+  const Workload w = make_app("mergesort", cfg, opt);
+
+  auto report = [&](Scheduler& s) {
+    CmpSimulator sim(cfg);
+    const SimResult r = sim.run(w.dag, s);
+    std::printf("%-8s cycles=%-12llu misses/K=%-7.3f bw=%.1f%%\n",
+                r.scheduler.c_str(),
+                static_cast<unsigned long long>(r.cycles),
+                r.l2_misses_per_kilo_instr(),
+                100.0 * r.mem_bandwidth_utilization());
+  };
+
+  auto pdf = make_scheduler("pdf");
+  auto ws = make_scheduler("ws");
+  RandomScheduler random(42);
+  report(*pdf);
+  report(*ws);
+  report(random);
+  std::printf("\nRandom greedy is load-balanced but cache-oblivious: its "
+              "misses bracket the\nvalue of PDF's sequential-order policy "
+              "(and of WS's depth-first locality).\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+#include "core/dag.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cachesched {
+
+uint64_t TaskDag::weighted_depth() const {
+  // Tasks are in topological (sequential) order, so one forward pass works.
+  std::vector<uint64_t> dist(tasks_.size(), 0);
+  uint64_t depth = 0;
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    const uint64_t d = dist[t] + tasks_[t].work;
+    depth = std::max(depth, d);
+    for (TaskId c : children(t)) dist[c] = std::max(dist[c], d);
+  }
+  return depth;
+}
+
+uint64_t TaskDag::node_depth() const {
+  std::vector<uint32_t> dist(tasks_.size(), 0);
+  uint32_t depth = 0;
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    const uint32_t d = dist[t] + 1;
+    depth = std::max(depth, d);
+    for (TaskId c : children(t)) dist[c] = std::max(dist[c], d);
+  }
+  return depth;
+}
+
+std::string TaskDag::validate() const {
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    for (TaskId c : children(t)) {
+      if (c <= t) {
+        return "edge not forward in sequential order: " + std::to_string(t) +
+               " -> " + std::to_string(c);
+      }
+      if (c >= tasks_.size()) return "edge to nonexistent task";
+    }
+  }
+  // Parent counts must match incoming edges.
+  std::vector<uint32_t> indeg(tasks_.size(), 0);
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    for (TaskId c : children(t)) ++indeg[c];
+  }
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    if (indeg[t] != tasks_[t].num_parents) {
+      return "parent count mismatch at task " + std::to_string(t);
+    }
+    if (indeg[t] == 0) {
+      if (std::find(roots_.begin(), roots_.end(), t) == roots_.end()) {
+        return "root not recorded: " + std::to_string(t);
+      }
+    }
+  }
+  // Group nesting: children ranges inside parent range; siblings disjoint
+  // and ordered.
+  for (GroupId g = 0; g < groups_.size(); ++g) {
+    const TaskGroup& grp = groups_[g];
+    if (grp.first_task > grp.last_task) return "empty/inverted group";
+    TaskId prev_end = 0;
+    bool first = true;
+    for (GroupId c : grp.children) {
+      const TaskGroup& ch = groups_[c];
+      if (ch.parent != g) return "group parent link broken";
+      if (ch.first_task < grp.first_task || ch.last_task > grp.last_task) {
+        return "child group outside parent range";
+      }
+      if (!first && ch.first_task <= prev_end) {
+        return "sibling groups overlap or out of order";
+      }
+      prev_end = ch.last_task;
+      first = false;
+    }
+  }
+  return "";
+}
+
+DagBuilder::DagBuilder() = default;
+
+GroupId DagBuilder::begin_group(const char* file, int line, int64_t param,
+                                bool children_parallel) {
+  if (finished_) throw std::logic_error("builder already finished");
+  TaskGroup g;
+  g.file = file;
+  g.line = line;
+  g.param = param;
+  g.children_parallel = children_parallel;
+  g.first_task = static_cast<TaskId>(dag_.tasks_.size());
+  g.last_task = g.first_task;  // fixed up at end_group
+  const GroupId id = static_cast<GroupId>(dag_.groups_.size());
+  if (!group_stack_.empty()) {
+    g.parent = group_stack_.back();
+    dag_.groups_[g.parent].children.push_back(id);
+  }
+  dag_.groups_.push_back(std::move(g));
+  group_stack_.push_back(id);
+  return id;
+}
+
+void DagBuilder::end_group() {
+  if (group_stack_.empty()) throw std::logic_error("end_group without begin");
+  const GroupId id = group_stack_.back();
+  group_stack_.pop_back();
+  TaskGroup& g = dag_.groups_[id];
+  if (dag_.tasks_.size() == g.first_task) {
+    throw std::logic_error("empty task group at " + std::string(g.file) + ":" +
+                           std::to_string(g.line));
+  }
+  g.last_task = static_cast<TaskId>(dag_.tasks_.size() - 1);
+}
+
+TaskId DagBuilder::add_task(std::span<const TaskId> parents,
+                            std::span<const RefBlock> blocks) {
+  if (finished_) throw std::logic_error("builder already finished");
+  const TaskId id = static_cast<TaskId>(dag_.tasks_.size());
+  Task t;
+  t.first_block = static_cast<uint32_t>(dag_.blocks_.size());
+  t.num_blocks = static_cast<uint32_t>(blocks.size());
+  t.num_parents = static_cast<uint32_t>(parents.size());
+  t.group = group_stack_.empty() ? kNoGroup : group_stack_.back();
+  for (const RefBlock& b : blocks) {
+    t.work += b.total_instr();
+    dag_.total_refs_ += b.total_refs();
+    dag_.blocks_.push_back(b);
+  }
+  dag_.total_work_ += t.work;
+  for (TaskId p : parents) {
+    if (p >= id) {
+      throw std::invalid_argument(
+          "dependence edge must point forward in sequential order");
+    }
+    edges_.emplace_back(p, id);
+  }
+  dag_.tasks_.push_back(t);
+  return id;
+}
+
+TaskDag DagBuilder::finish() {
+  if (finished_) throw std::logic_error("builder already finished");
+  if (!group_stack_.empty()) throw std::logic_error("unclosed task group");
+  finished_ = true;
+  // CSR for child edges. Edges were appended per-child; sort by parent,
+  // keeping insertion (spawn) order within a parent via stable_sort.
+  std::stable_sort(edges_.begin(), edges_.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  dag_.child_edges_.resize(edges_.size());
+  size_t e = 0;
+  for (TaskId t = 0; t < dag_.tasks_.size(); ++t) {
+    dag_.tasks_[t].first_child = static_cast<uint32_t>(e);
+    uint32_t n = 0;
+    while (e < edges_.size() && edges_[e].first == t) {
+      dag_.child_edges_[e] = edges_[e].second;
+      ++e;
+      ++n;
+    }
+    dag_.tasks_[t].num_children = n;
+  }
+  for (TaskId t = 0; t < dag_.tasks_.size(); ++t) {
+    if (dag_.tasks_[t].num_parents == 0) dag_.roots_.push_back(t);
+  }
+  return std::move(dag_);
+}
+
+}  // namespace cachesched

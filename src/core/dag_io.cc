@@ -1,0 +1,203 @@
+#include "core/dag_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <type_traits>
+
+namespace cachesched {
+namespace {
+
+constexpr uint64_t kMagic = 0x4341534447303031ull;  // "CASDG001"
+
+static_assert(std::is_trivially_copyable_v<Task>);
+static_assert(std::is_trivially_copyable_v<RefBlock>);
+
+// Stable storage for call-site file names of loaded DAGs (TaskGroup holds
+// const char*). Interned once per distinct name, lives for the process.
+const char* intern(const std::string& s) {
+  static std::mutex mu;
+  static std::set<std::string> pool;
+  std::lock_guard<std::mutex> lock(mu);
+  return pool.insert(s).first->c_str();
+}
+
+struct File {
+  std::FILE* f;
+  explicit File(std::FILE* f) : f(f) {}
+  ~File() {
+    if (f) std::fclose(f);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+};
+
+template <typename T>
+void write_pod(std::FILE* f, const T& v) {
+  if (std::fwrite(&v, sizeof(T), 1, f) != 1) {
+    throw std::runtime_error("dag_io: write failed");
+  }
+}
+
+template <typename T>
+void write_vec(std::FILE* f, const std::vector<T>& v) {
+  write_pod<uint64_t>(f, v.size());
+  if (!v.empty() && std::fwrite(v.data(), sizeof(T), v.size(), f) != v.size()) {
+    throw std::runtime_error("dag_io: write failed");
+  }
+}
+
+template <typename T>
+T read_pod(std::FILE* f) {
+  T v;
+  if (std::fread(&v, sizeof(T), 1, f) != 1) {
+    throw std::runtime_error("dag_io: truncated file");
+  }
+  return v;
+}
+
+template <typename T>
+std::vector<T> read_vec(std::FILE* f, uint64_t max_elems) {
+  const uint64_t n = read_pod<uint64_t>(f);
+  if (n > max_elems) throw std::runtime_error("dag_io: implausible count");
+  std::vector<T> v(n);
+  if (n && std::fread(v.data(), sizeof(T), n, f) != n) {
+    throw std::runtime_error("dag_io: truncated file");
+  }
+  return v;
+}
+
+constexpr uint64_t kMaxElems = 1ull << 32;
+
+}  // namespace
+
+void save_dag(const TaskDag& dag, const std::string& path) {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (!file.f) throw std::runtime_error("dag_io: cannot open " + path);
+  std::FILE* f = file.f;
+  write_pod(f, kMagic);
+
+  // String table for group file names.
+  std::vector<std::string> strings;
+  auto string_idx = [&](const char* s) -> uint32_t {
+    for (uint32_t i = 0; i < strings.size(); ++i) {
+      if (strings[i] == s) return i;
+    }
+    strings.emplace_back(s);
+    return static_cast<uint32_t>(strings.size() - 1);
+  };
+  std::vector<uint32_t> group_file(dag.num_groups());
+  for (GroupId g = 0; g < dag.num_groups(); ++g) {
+    group_file[g] = string_idx(dag.group(g).file);
+  }
+  write_pod<uint64_t>(f, strings.size());
+  for (const auto& s : strings) {
+    write_pod<uint32_t>(f, static_cast<uint32_t>(s.size()));
+    if (!s.empty() && std::fwrite(s.data(), 1, s.size(), f) != s.size()) {
+      throw std::runtime_error("dag_io: write failed");
+    }
+  }
+
+  // Tasks, blocks, edges (reassembled from public accessors).
+  std::vector<Task> tasks;
+  std::vector<RefBlock> blocks;
+  std::vector<TaskId> edges;
+  tasks.reserve(dag.num_tasks());
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    Task n = dag.task(t);
+    n.first_block = static_cast<uint32_t>(blocks.size());
+    n.first_child = static_cast<uint32_t>(edges.size());
+    for (const RefBlock& b : dag.blocks(t)) blocks.push_back(b);
+    for (TaskId c : dag.children(t)) edges.push_back(c);
+    tasks.push_back(n);
+  }
+  write_vec(f, tasks);
+  write_vec(f, blocks);
+  write_vec(f, edges);
+
+  write_pod<uint64_t>(f, dag.num_groups());
+  for (GroupId g = 0; g < dag.num_groups(); ++g) {
+    const TaskGroup& grp = dag.group(g);
+    write_pod<uint32_t>(f, grp.parent);
+    write_pod<uint32_t>(f, grp.first_task);
+    write_pod<uint32_t>(f, grp.last_task);
+    write_pod<uint32_t>(f, group_file[g]);
+    write_pod<int32_t>(f, grp.line);
+    write_pod<int64_t>(f, grp.param);
+    write_pod<uint8_t>(f, grp.children_parallel ? 1 : 0);
+    write_pod<uint64_t>(f, grp.children.size());
+    for (GroupId c : grp.children) write_pod<uint32_t>(f, c);
+  }
+}
+
+TaskDag load_dag(const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (!file.f) throw std::runtime_error("dag_io: cannot open " + path);
+  std::FILE* f = file.f;
+  if (read_pod<uint64_t>(f) != kMagic) {
+    throw std::runtime_error("dag_io: bad magic (not a cachesched DAG?)");
+  }
+
+  const uint64_t num_strings = read_pod<uint64_t>(f);
+  if (num_strings > kMaxElems) throw std::runtime_error("dag_io: bad header");
+  std::vector<const char*> strings(num_strings);
+  for (auto& s : strings) {
+    const uint32_t len = read_pod<uint32_t>(f);
+    if (len > (1u << 20)) throw std::runtime_error("dag_io: bad string");
+    std::string tmp(len, '\0');
+    if (len && std::fread(tmp.data(), 1, len, f) != len) {
+      throw std::runtime_error("dag_io: truncated file");
+    }
+    s = intern(tmp);
+  }
+
+  TaskDag dag;
+  dag.tasks_ = read_vec<Task>(f, kMaxElems);
+  dag.blocks_ = read_vec<RefBlock>(f, kMaxElems);
+  dag.child_edges_ = read_vec<TaskId>(f, kMaxElems);
+
+  const uint64_t num_groups = read_pod<uint64_t>(f);
+  if (num_groups > kMaxElems) throw std::runtime_error("dag_io: bad groups");
+  dag.groups_.resize(num_groups);
+  for (TaskGroup& grp : dag.groups_) {
+    grp.parent = read_pod<uint32_t>(f);
+    grp.first_task = read_pod<uint32_t>(f);
+    grp.last_task = read_pod<uint32_t>(f);
+    const uint32_t file_idx = read_pod<uint32_t>(f);
+    if (file_idx >= strings.size()) {
+      throw std::runtime_error("dag_io: bad file index");
+    }
+    grp.file = strings[file_idx];
+    grp.line = read_pod<int32_t>(f);
+    grp.param = read_pod<int64_t>(f);
+    grp.children_parallel = read_pod<uint8_t>(f) != 0;
+    const uint64_t nch = read_pod<uint64_t>(f);
+    if (nch > kMaxElems) throw std::runtime_error("dag_io: bad children");
+    grp.children.resize(nch);
+    for (GroupId& c : grp.children) c = read_pod<uint32_t>(f);
+  }
+
+  // Recompute derived state and check structural sanity.
+  dag.total_work_ = 0;
+  dag.total_refs_ = 0;
+  for (const Task& t : dag.tasks_) {
+    if (uint64_t{t.first_block} + t.num_blocks > dag.blocks_.size() ||
+        uint64_t{t.first_child} + t.num_children > dag.child_edges_.size()) {
+      throw std::runtime_error("dag_io: task ranges out of bounds");
+    }
+    dag.total_work_ += t.work;
+  }
+  for (const RefBlock& b : dag.blocks_) dag.total_refs_ += b.total_refs();
+  for (TaskId t = 0; t < dag.tasks_.size(); ++t) {
+    if (dag.tasks_[t].num_parents == 0) dag.roots_.push_back(t);
+  }
+  const std::string err = dag.validate();
+  if (!err.empty()) throw std::runtime_error("dag_io: invalid DAG: " + err);
+  return dag;
+}
+
+}  // namespace cachesched

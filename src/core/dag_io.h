@@ -1,0 +1,27 @@
+// Binary serialization of computation DAGs with their reference traces.
+//
+// The paper's methodology collects a program's annotated DAG trace once
+// and replays it across many CMP configurations and schedulers (§4.1).
+// save_dag/load_dag support the same collect-once / simulate-many
+// workflow: the compact RefBlock representation keeps even paper-scale
+// traces to a few MB on disk.
+//
+// Format: little-endian, versioned header; task table, block table, edge
+// CSR, group table and an interned string table for call-site file names.
+#pragma once
+
+#include <string>
+
+#include "core/dag.h"
+
+namespace cachesched {
+
+/// Writes `dag` to `path`. Throws std::runtime_error on I/O failure.
+void save_dag(const TaskDag& dag, const std::string& path);
+
+/// Reads a DAG written by save_dag. Throws std::runtime_error on I/O or
+/// format errors. The loaded DAG validates clean and produces exactly the
+/// reference stream of the original.
+TaskDag load_dag(const std::string& path);
+
+}  // namespace cachesched

@@ -1,0 +1,41 @@
+// Scheduler interface shared by the CMP simulator (src/simarch) and the
+// scheduler implementations (src/sched). Both schedulers in the paper are
+// *greedy*: a ready task may remain unscheduled only while all cores are
+// busy. The simulator enforces greediness by offering work to every idle
+// core whenever tasks become ready.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/dag.h"
+#include "core/types.h"
+
+namespace cachesched {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Prepares for a fresh run of `dag` on `num_cores` cores. Roots are
+  /// delivered via enqueue_ready(0, roots) by the engine after reset.
+  virtual void reset(const TaskDag& dag, int num_cores) = 0;
+
+  /// `ready` lists tasks that just became ready, in spawn order. `core` is
+  /// the core whose task completion enabled them (0 for the initial roots).
+  virtual void enqueue_ready(int core, std::span<const TaskId> ready) = 0;
+
+  /// Requests work for `core`. Returns kNoTask if none is available
+  /// anywhere (for WS this means all deques are empty).
+  virtual TaskId acquire(int core) = 0;
+
+  /// True if no task is currently queued (used for greediness asserts).
+  virtual bool empty() const = 0;
+
+  virtual const char* name() const = 0;
+
+  /// WS statistic; 0 for schedulers that do not steal.
+  virtual uint64_t steal_count() const { return 0; }
+};
+
+}  // namespace cachesched

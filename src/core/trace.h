@@ -1,0 +1,234 @@
+// Compact per-task memory-reference streams.
+//
+// The paper's methodology (§4.1) collects a computation-DAG trace annotated
+// with the memory references of each task and replays it on a simulated CMP.
+// Storing raw references is infeasible (2.85 billion for the 32M-element
+// sort), so tasks describe their references as a short list of *blocks*
+// that the simulator and profiler expand lazily:
+//
+//   kCompute    — pure computation: `instr` instructions, no references.
+//   kStride     — `count` references starting at `base`, `stride` bytes
+//                 apart (usually one reference per cache line; the per-word
+//                 accesses within a line are folded into instr_per_ref).
+//   kRandom     — `count` references uniformly pseudo-random in
+//                 [base, base+region_len); addresses are a pure function of
+//                 (seed, index), so replay order does not matter.
+//   kInterleave — up to three line-granular streams (e.g. "read run X,
+//                 read run Y, write run Z" of a merge) emitted
+//                 proportionally interleaved, the way the real kernel's
+//                 access pattern interleaves them.
+//
+// Each reference carries `instr_per_ref` instructions: the memory
+// instruction itself plus the surrounding scalar work (compares, moves,
+// index arithmetic, and the L1-hit accesses to the other words of the
+// line). This is what makes "L2 misses per 1000 instructions" meaningful.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace cachesched {
+
+enum class RefKind : uint8_t { kCompute, kStride, kRandom, kInterleave };
+
+/// One line-granular stream of a kInterleave block.
+struct StreamRef {
+  uint64_t base = 0;    // byte address of the first line
+  uint32_t lines = 0;   // number of lines touched
+  bool is_write = false;
+};
+
+inline constexpr int kMaxStreams = 3;
+
+struct RefBlock {
+  RefKind kind = RefKind::kCompute;
+  bool is_write = false;
+  uint8_t num_streams = 0;     // kInterleave
+  uint32_t count = 0;          // total references (all kinds but kCompute)
+  uint32_t instr_per_ref = 1;  // instructions charged per reference (>= 1)
+  uint32_t line_bytes = 128;   // kInterleave address stepping
+  uint64_t base = 0;           // byte address (kStride/kRandom)
+  int64_t stride = 0;          // bytes between refs (kStride)
+  uint64_t region_len = 0;     // bytes (kRandom)
+  uint64_t seed = 0;           // kRandom
+  uint64_t instr = 0;          // kCompute
+  StreamRef streams[kMaxStreams];
+
+  static RefBlock compute(uint64_t instructions) {
+    RefBlock b;
+    b.kind = RefKind::kCompute;
+    b.instr = instructions;
+    return b;
+  }
+
+  static RefBlock stride_ref(uint64_t base, uint32_t count, int64_t stride_bytes,
+                             bool is_write, uint32_t instr_per_ref) {
+    RefBlock b;
+    b.kind = RefKind::kStride;
+    b.base = base;
+    b.count = count;
+    b.stride = stride_bytes;
+    b.is_write = is_write;
+    b.instr_per_ref = instr_per_ref ? instr_per_ref : 1;
+    return b;
+  }
+
+  static RefBlock random_ref(uint64_t base, uint64_t region_len, uint32_t count,
+                             uint64_t seed, bool is_write,
+                             uint32_t instr_per_ref) {
+    RefBlock b;
+    b.kind = RefKind::kRandom;
+    b.base = base;
+    b.region_len = region_len ? region_len : 1;
+    b.count = count;
+    b.seed = seed;
+    b.is_write = is_write;
+    b.instr_per_ref = instr_per_ref ? instr_per_ref : 1;
+    return b;
+  }
+
+  /// Proportionally interleaved line-granular streams.
+  static RefBlock interleave(const StreamRef* streams, int num_streams,
+                             uint32_t line_bytes, uint32_t instr_per_ref) {
+    assert(num_streams >= 1 && num_streams <= kMaxStreams);
+    RefBlock b;
+    b.kind = RefKind::kInterleave;
+    b.line_bytes = line_bytes;
+    b.instr_per_ref = instr_per_ref ? instr_per_ref : 1;
+    b.num_streams = static_cast<uint8_t>(num_streams);
+    uint32_t total = 0;
+    for (int i = 0; i < num_streams; ++i) {
+      b.streams[i] = streams[i];
+      total += streams[i].lines;
+    }
+    b.count = total;
+    return b;
+  }
+
+  /// Total instructions this block contributes.
+  uint64_t total_instr() const {
+    return kind == RefKind::kCompute
+               ? instr
+               : static_cast<uint64_t>(count) * instr_per_ref;
+  }
+
+  /// Total memory references this block contributes.
+  uint64_t total_refs() const { return kind == RefKind::kCompute ? 0 : count; }
+};
+
+/// One expanded operation from a trace.
+struct TraceOp {
+  enum Kind : uint8_t { kDone, kCompute, kMem } kind = kDone;
+  uint64_t addr = 0;   // byte address (kMem)
+  uint64_t instr = 0;  // instructions attributed to this op
+  bool is_write = false;
+};
+
+/// Lazily expands a span of RefBlocks into TraceOps. Copyable and cheap;
+/// the hot path (next()) is inline. Expansion is a pure function of the
+/// blocks, so simulator and profiler see identical reference streams.
+class TraceCursor {
+ public:
+  TraceCursor() = default;
+  TraceCursor(const RefBlock* blocks, uint32_t num_blocks)
+      : blocks_(blocks), num_blocks_(num_blocks) {}
+
+  TraceOp next() {
+    while (bi_ < num_blocks_) {
+      const RefBlock& b = blocks_[bi_];
+      switch (b.kind) {
+        case RefKind::kCompute: {
+          advance_block();
+          if (b.instr == 0) continue;
+          TraceOp op;
+          op.kind = TraceOp::kCompute;
+          op.instr = b.instr;
+          return op;
+        }
+        case RefKind::kStride: {
+          if (ri_ >= b.count) {
+            advance_block();
+            continue;
+          }
+          TraceOp op = mem_op(b);
+          op.addr = b.base + static_cast<uint64_t>(
+                                 static_cast<int64_t>(ri_) * b.stride);
+          op.is_write = b.is_write;
+          ++ri_;
+          return op;
+        }
+        case RefKind::kRandom: {
+          if (ri_ >= b.count) {
+            advance_block();
+            continue;
+          }
+          TraceOp op = mem_op(b);
+          op.addr = b.base + mix64(b.seed + ri_) % b.region_len;
+          op.is_write = b.is_write;
+          ++ri_;
+          return op;
+        }
+        case RefKind::kInterleave: {
+          if (ri_ >= b.count) {
+            advance_block();
+            continue;
+          }
+          // Proportional schedule: stream i should have emitted
+          // floor((s+1) * lines_i / total) lines after step s.
+          int pick = -1;
+          for (int i = 0; i < b.num_streams; ++i) {
+            const uint64_t target =
+                (static_cast<uint64_t>(ri_) + 1) * b.streams[i].lines / b.count;
+            if (em_[i] < target) {
+              pick = i;
+              break;
+            }
+          }
+          if (pick < 0) {  // floor rounding gap: emit any unfinished stream
+            for (int i = 0; i < b.num_streams; ++i) {
+              if (em_[i] < b.streams[i].lines) {
+                pick = i;
+                break;
+              }
+            }
+          }
+          assert(pick >= 0);
+          TraceOp op = mem_op(b);
+          op.addr = b.streams[pick].base +
+                    static_cast<uint64_t>(em_[pick]) * b.line_bytes;
+          op.is_write = b.streams[pick].is_write;
+          ++em_[pick];
+          ++ri_;
+          return op;
+        }
+      }
+    }
+    return TraceOp{};  // kDone
+  }
+
+  bool done() const { return bi_ >= num_blocks_; }
+
+ private:
+  static TraceOp mem_op(const RefBlock& b) {
+    TraceOp op;
+    op.kind = TraceOp::kMem;
+    op.instr = b.instr_per_ref;
+    return op;
+  }
+
+  void advance_block() {
+    ++bi_;
+    ri_ = 0;
+    em_[0] = em_[1] = em_[2] = 0;
+  }
+
+  const RefBlock* blocks_ = nullptr;
+  uint32_t num_blocks_ = 0;
+  uint32_t bi_ = 0;       // block index
+  uint32_t ri_ = 0;       // reference index within block
+  uint32_t em_[3] = {0, 0, 0};  // per-stream emitted lines (kInterleave)
+};
+
+}  // namespace cachesched

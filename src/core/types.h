@@ -1,0 +1,22 @@
+// Fundamental identifiers shared by the DAG, schedulers, simulator and
+// profiler.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cachesched {
+
+/// Task identifier. Task ids are assigned in *sequential execution order*
+/// (the 1DF order of the computation DAG): the DagBuilder requires workloads
+/// to create tasks in the order a sequential run of the program would
+/// execute them, and every dependence edge points from a lower id to a
+/// higher id. The PDF scheduler's priority is exactly this id (paper §3).
+using TaskId = uint32_t;
+inline constexpr TaskId kNoTask = std::numeric_limits<TaskId>::max();
+
+/// Task-group identifier (profiling hierarchy, paper §6.1).
+using GroupId = uint32_t;
+inline constexpr GroupId kNoGroup = std::numeric_limits<GroupId>::max();
+
+}  // namespace cachesched

@@ -1,0 +1,215 @@
+#include "native/task_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cachesched::native {
+namespace {
+
+// Worker-thread context.
+thread_local TaskPool* tls_pool = nullptr;
+thread_local int tls_worker = -1;
+thread_local std::vector<uint32_t>* tls_path = nullptr;
+thread_local uint32_t tls_next_child = 0;
+
+bool path_after(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+  // Max-heap comparator: true if a is sequentially *later* than b.
+  return std::lexicographical_compare(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+TaskPool::TaskPool(int threads, Policy policy) : policy_(policy) {
+  if (threads < 1) throw std::invalid_argument("need at least one worker");
+  deques_.resize(threads);
+  workers_.reserve(threads);
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void TaskPool::run(std::function<void()> root) {
+  Group g(*this);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Task t;
+    t.fn = std::move(root);
+    t.path = {0};
+    t.group = &g;
+    g.pending_ = 1;
+    enqueue(std::move(t), 0);
+  }
+  work_cv_.notify_one();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return g.pending_ == 0; });
+}
+
+TaskPool::Group::~Group() {
+  // A group must not die with outstanding children; waiting here makes
+  // early-return paths safe.
+  wait();
+}
+
+void TaskPool::Group::spawn(std::function<void()> fn) {
+  Task t;
+  t.fn = std::move(fn);
+  if (tls_path) {
+    t.path = *tls_path;
+    t.path.push_back(tls_next_child++);
+  } else {
+    t.path = {0};
+  }
+  t.group = this;
+  {
+    std::lock_guard<std::mutex> lock(pool_.mu_);
+    ++pending_;
+    pool_.enqueue(std::move(t), tls_worker >= 0 ? tls_worker : 0);
+  }
+  pool_.work_cv_.notify_one();
+}
+
+void TaskPool::Group::wait() {
+  // Helping wait: execute other ready tasks until our children are done.
+  const int self = tls_worker >= 0 ? tls_worker : 0;
+  std::unique_lock<std::mutex> lock(pool_.mu_);
+  for (;;) {
+    if (pending_ == 0) return;
+    Task t;
+    if (pool_.try_pop(self, &t)) {
+      lock.unlock();
+      pool_.execute(std::move(t), self);
+      lock.lock();
+      continue;
+    }
+    pool_.done_cv_.wait(lock, [&] {
+      return pending_ == 0 || !pool_.heap_.empty() ||
+             std::any_of(pool_.deques_.begin(), pool_.deques_.end(),
+                         [](const auto& d) { return !d.empty(); });
+    });
+  }
+}
+
+void TaskPool::parallel_for(int64_t lo, int64_t hi, int64_t grain,
+                            const std::function<void(int64_t, int64_t)>& body) {
+  if (grain < 1) grain = 1;
+  if (hi - lo <= grain) {
+    if (lo < hi) body(lo, hi);
+    return;
+  }
+  std::function<void(int64_t, int64_t)> rec = [&](int64_t l, int64_t h) {
+    if (h - l <= grain) {
+      body(l, h);
+      return;
+    }
+    const int64_t mid = l + (h - l) / 2;
+    Group g(*this);
+    g.spawn([&rec, l, mid] { rec(l, mid); });
+    g.spawn([&rec, mid, h] { rec(mid, h); });
+    g.wait();
+  };
+  if (tls_pool == this) {
+    rec(lo, hi);
+  } else {
+    run([&] { rec(lo, hi); });
+  }
+}
+
+void TaskPool::enqueue(Task task, int self) {
+  if (policy_ == Policy::kWorkStealing) {
+    deques_[self].push_back(std::move(task));
+  } else {
+    heap_.push_back(std::move(task));
+    std::push_heap(heap_.begin(), heap_.end(),
+                   [](const Task& a, const Task& b) {
+                     return path_after(a.path, b.path);
+                   });
+  }
+}
+
+bool TaskPool::try_pop(int self, Task* out) {
+  if (policy_ == Policy::kParallelDepthFirst) {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), [](const Task& a, const Task& b) {
+      return path_after(a.path, b.path);
+    });
+    *out = std::move(heap_.back());
+    heap_.pop_back();
+    return true;
+  }
+  auto& own = deques_[self];
+  if (!own.empty()) {
+    *out = std::move(own.back());  // top: newest
+    own.pop_back();
+    return true;
+  }
+  const int p = static_cast<int>(deques_.size());
+  for (int k = 1; k < p; ++k) {
+    auto& victim = deques_[(self + k) % p];
+    if (!victim.empty()) {
+      *out = std::move(victim.front());  // bottom: oldest
+      victim.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskPool::finish_task(Group* g) {
+  if (--g->pending_ == 0) done_cv_.notify_all();
+}
+
+void TaskPool::execute(Task task, int self) {
+  TaskPool* prev_pool = tls_pool;
+  int prev_worker = tls_worker;
+  std::vector<uint32_t>* prev_path = tls_path;
+  uint32_t prev_child = tls_next_child;
+
+  tls_pool = this;
+  tls_worker = self;
+  tls_path = &task.path;
+  tls_next_child = 0;
+  task.fn();
+
+  tls_pool = prev_pool;
+  tls_worker = prev_worker;
+  tls_path = prev_path;
+  tls_next_child = prev_child;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  finish_task(task.group);
+  // Completion may have unblocked siblings' waiters only; new work is
+  // signalled at spawn time.
+  done_cv_.notify_all();
+}
+
+void TaskPool::worker_loop(int id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Task t;
+    if (try_pop(id, &t)) {
+      lock.unlock();
+      execute(std::move(t), id);
+      lock.lock();
+      continue;
+    }
+    if (shutdown_) return;
+    work_cv_.wait(lock, [&] {
+      if (shutdown_) return true;
+      if (policy_ == Policy::kParallelDepthFirst) return !heap_.empty();
+      return std::any_of(deques_.begin(), deques_.end(),
+                         [](const auto& d) { return !d.empty(); });
+    });
+  }
+}
+
+}  // namespace cachesched::native

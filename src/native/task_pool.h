@@ -1,0 +1,94 @@
+// Native fork-join runtime with pluggable scheduling policy: a real
+// std::thread execution engine implementing both of the paper's
+// schedulers, so the library can run actual multithreaded programs (not
+// only simulate their DAGs).
+//
+//  * kWorkStealing: per-worker LIFO deques; idle workers steal from the
+//    bottom of the first non-empty deque, scanning from (self+1) mod P.
+//  * kParallelDepthFirst: a global ready-queue ordered by the task's 1DF
+//    position, encoded as the spawn path (parent path + child index) and
+//    compared lexicographically — the earliest sequential task runs first.
+//
+// Synchronization uses one pool mutex: simple and correct; adequate for
+// library-scale fork-join parallelism (this runtime demonstrates policy
+// behaviour, it is not a lock-free Cilk replacement — the paper's
+// performance claims are evaluated with the cycle-level simulator).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cachesched::native {
+
+enum class Policy { kWorkStealing, kParallelDepthFirst };
+
+class TaskPool {
+ public:
+  TaskPool(int threads, Policy policy);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Runs `root` on a worker and blocks until it and every transitively
+  /// spawned task completes.
+  void run(std::function<void()> root);
+
+  /// Fork-join scope. Must be used from inside a pool task (or run()).
+  class Group {
+   public:
+    explicit Group(TaskPool& pool) : pool_(pool) {}
+    ~Group();
+
+    /// Spawns `fn` as a child task of the current task.
+    void spawn(std::function<void()> fn);
+
+    /// Blocks until all tasks spawned on this group finished; the calling
+    /// worker executes other ready tasks while waiting.
+    void wait();
+
+   private:
+    friend class TaskPool;
+    TaskPool& pool_;
+    int64_t pending_ = 0;  // guarded by pool_.mu_
+  };
+
+  /// Divide-and-conquer parallel_for over [lo, hi).
+  void parallel_for(int64_t lo, int64_t hi, int64_t grain,
+                    const std::function<void(int64_t, int64_t)>& body);
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+  Policy policy() const { return policy_; }
+  uint64_t steal_count() const { return steals_.load(); }
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::vector<uint32_t> path;  // 1DF priority (PDF policy)
+    Group* group = nullptr;
+  };
+
+  void worker_loop(int id);
+  bool try_pop(int self, Task* out);   // mu_ held
+  void enqueue(Task task, int self);   // mu_ held
+  void finish_task(Group* g);          // mu_ held
+  void execute(Task task, int self);   // mu_ NOT held
+
+  Policy policy_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool shutdown_ = false;
+  std::vector<std::deque<Task>> deques_;  // WS
+  std::vector<Task> heap_;                // PDF (min-heap by path)
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> steals_{0};
+};
+
+}  // namespace cachesched::native

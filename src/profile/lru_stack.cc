@@ -1,0 +1,57 @@
+#include "profile/lru_stack.h"
+
+#include <algorithm>
+
+namespace cachesched {
+
+LruStackModel::LruStackModel(size_t initial_capacity) {
+  live_.reset(std::max<size_t>(initial_capacity, 1024));
+}
+
+StackRef LruStackModel::access(uint64_t line, TaskId task) {
+  if (time_ == live_.size()) compact();
+  ++accesses_;
+  StackRef out;
+  auto [it, inserted] = map_.try_emplace(line, Info{time_, task});
+  if (inserted) {
+    out.distance = StackRef::kColdDistance;
+    out.prev_task = kNoTask;
+    live_.add(time_, 1);
+    ++time_;
+    return out;
+  }
+  Info& info = it->second;
+  // Lines accessed after our last access each contribute one live slot in
+  // (info.slot, time_).
+  out.distance =
+      static_cast<uint64_t>(live_.range_sum(info.slot + 1, time_));
+  out.prev_task = info.last_task;
+  live_.add(info.slot, -1);
+  live_.add(time_, 1);
+  info.slot = time_;
+  info.last_task = task;
+  ++time_;
+  return out;
+}
+
+void LruStackModel::compact() {
+  // Re-number live slots 0..n-1 in stack order; grow if more than half the
+  // capacity is live so compactions stay amortized O(1) per access.
+  std::vector<std::pair<uint64_t, uint64_t>> order;  // (slot, line)
+  order.reserve(map_.size());
+  for (const auto& [line, info] : map_) order.emplace_back(info.slot, line);
+  std::sort(order.begin(), order.end());
+  size_t capacity = live_.size();
+  while (order.size() * 2 > capacity) capacity *= 2;
+  live_.reset(capacity);
+  uint64_t slot = 0;
+  for (const auto& [old_slot, line] : order) {
+    (void)old_slot;
+    map_[line].slot = slot;
+    live_.add(slot, 1);
+    ++slot;
+  }
+  time_ = slot;
+}
+
+}  // namespace cachesched

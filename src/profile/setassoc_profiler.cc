@@ -1,0 +1,57 @@
+#include "profile/setassoc_profiler.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "simarch/cache.h"
+
+namespace cachesched {
+
+SetAssocProfiler::GroupStats SetAssocProfiler::profile_group(
+    const TaskDag& dag, TaskId b, TaskId e, uint64_t cache_bytes) const {
+  const int line_shift = std::countr_zero(line_bytes_);
+  uint64_t lines = std::max<uint64_t>(cache_bytes / line_bytes_, 1);
+  uint64_t sets;
+  int ways;
+  if (ways_ == 0) {  // fully associative
+    sets = 1;
+    ways = static_cast<int>(lines);
+  } else {
+    ways = ways_;
+    sets = std::bit_floor(std::max<uint64_t>(lines / ways_, 1));
+  }
+  SetAssocCache cache(sets, ways);
+  GroupStats s;
+  for (TaskId t = b; t <= e; ++t) {
+    TraceCursor cur = dag.cursor(t);
+    for (TraceOp op = cur.next(); op.kind != TraceOp::kDone; op = cur.next()) {
+      if (op.kind != TraceOp::kMem) continue;
+      ++s.refs;
+      const uint64_t line = op.addr >> line_shift;
+      if (SetAssocCache::Line* hit = cache.probe(line)) {
+        cache.touch(hit);
+        ++s.hits;
+      } else {
+        cache.install(line, op.is_write, nullptr);
+      }
+    }
+  }
+  return s;
+}
+
+std::vector<std::vector<uint64_t>> SetAssocProfiler::profile_all_groups(
+    const TaskDag& dag, const std::vector<uint64_t>& cache_sizes) const {
+  std::vector<std::vector<uint64_t>> misses(dag.num_groups());
+  for (GroupId g = 0; g < dag.num_groups(); ++g) {
+    const TaskGroup& grp = dag.group(g);
+    misses[g].reserve(cache_sizes.size());
+    for (uint64_t size : cache_sizes) {
+      misses[g].push_back(
+          profile_group(dag, grp.first_task, grp.last_task, size).misses());
+    }
+  }
+  return misses;
+}
+
+}  // namespace cachesched

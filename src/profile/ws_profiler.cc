@@ -1,0 +1,122 @@
+#include "profile/ws_profiler.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cachesched {
+
+WorkingSetProfiler::WorkingSetProfiler(std::vector<uint64_t> cache_sizes_bytes,
+                                       uint32_t line_bytes)
+    : line_bytes_(line_bytes) {
+  if (cache_sizes_bytes.empty()) {
+    throw std::invalid_argument("need at least one cache size");
+  }
+  if (!std::has_single_bit(static_cast<uint64_t>(line_bytes))) {
+    throw std::invalid_argument("line size must be a power of two");
+  }
+  for (size_t i = 0; i < cache_sizes_bytes.size(); ++i) {
+    const uint64_t lines = cache_sizes_bytes[i] / line_bytes;
+    if (lines == 0) throw std::invalid_argument("cache smaller than a line");
+    if (i > 0 && lines <= sizes_lines_.back()) {
+      throw std::invalid_argument("cache sizes must be strictly increasing");
+    }
+    sizes_lines_.push_back(lines);
+  }
+}
+
+void WorkingSetProfiler::run(const TaskDag& dag) {
+  if (ran_) throw std::logic_error("profiler already ran");
+  ran_ = true;
+
+  const int line_shift = std::countr_zero(line_bytes_);
+  const size_t n = dag.num_tasks();
+  const uint16_t num_buckets =
+      static_cast<uint16_t>(sizes_lines_.size()) + 1;  // + infinite bucket
+  task_offset_.assign(n + 1, 0);
+  refs_prefix_.assign(n + 1, 0);
+
+  LruStackModel stack;
+  // Sparse accumulation for the current task: key = (bucket, delta).
+  std::unordered_map<uint64_t, uint32_t> acc;
+  acc.reserve(1024);
+
+  auto flush_task = [&](TaskId i) {
+    task_offset_[i] = entries_.size();
+    std::vector<Entry> batch;
+    batch.reserve(acc.size());
+    for (const auto& [key, count] : acc) {
+      Entry e;
+      e.bucket = static_cast<uint16_t>(key >> 32);
+      e.delta = static_cast<uint32_t>(key);
+      e.count = count;
+      batch.push_back(e);
+    }
+    std::sort(batch.begin(), batch.end(), [](const Entry& a, const Entry& b) {
+      return a.bucket != b.bucket ? a.bucket < b.bucket : a.delta < b.delta;
+    });
+    entries_.insert(entries_.end(), batch.begin(), batch.end());
+    acc.clear();
+  };
+
+  for (TaskId i = 0; i < n; ++i) {
+    uint64_t refs = 0;
+    TraceCursor cur = dag.cursor(i);
+    for (TraceOp op = cur.next(); op.kind != TraceOp::kDone; op = cur.next()) {
+      if (op.kind != TraceOp::kMem) continue;
+      ++refs;
+      const StackRef r = stack.access(op.addr >> line_shift, i);
+      if (r.cold()) continue;  // never a hit for any group/size
+      // Smallest size index that captures this distance.
+      const auto it = std::upper_bound(sizes_lines_.begin(), sizes_lines_.end(),
+                                       r.distance);
+      const uint16_t bucket =
+          static_cast<uint16_t>(it - sizes_lines_.begin());
+      if (bucket >= num_buckets) continue;  // cannot happen; guard
+      const uint32_t delta = i - r.prev_task;
+      const uint64_t key = (static_cast<uint64_t>(bucket) << 32) | delta;
+      ++acc[key];
+    }
+    flush_task(i);
+    refs_prefix_[i + 1] = refs_prefix_[i] + refs;
+  }
+  task_offset_[n] = entries_.size();
+  total_refs_ = refs_prefix_[n];
+}
+
+uint64_t WorkingSetProfiler::group_refs(TaskId b, TaskId e) const {
+  return refs_prefix_[e + 1] - refs_prefix_[b];
+}
+
+uint64_t WorkingSetProfiler::group_hits(TaskId b, TaskId e,
+                                        size_t size_idx) const {
+  if (size_idx >= sizes_lines_.size()) {
+    throw std::out_of_range("size index");
+  }
+  uint64_t hits = 0;
+  for (TaskId i = b; i <= e; ++i) {
+    const uint32_t max_delta = i - b;
+    for (uint64_t k = task_offset_[i]; k < task_offset_[i + 1]; ++k) {
+      const Entry& en = entries_[k];
+      if (en.bucket > size_idx) break;  // entries sorted by bucket
+      if (en.delta <= max_delta) hits += en.count;
+    }
+  }
+  return hits;
+}
+
+uint64_t WorkingSetProfiler::group_distinct_lines(TaskId b, TaskId e) const {
+  // Distinct lines = refs - hits at infinite capacity with in-group reuse.
+  uint64_t reuse = 0;
+  for (TaskId i = b; i <= e; ++i) {
+    const uint32_t max_delta = i - b;
+    for (uint64_t k = task_offset_[i]; k < task_offset_[i + 1]; ++k) {
+      const Entry& en = entries_[k];
+      if (en.delta <= max_delta) reuse += en.count;
+    }
+  }
+  return group_refs(b, e) - reuse;
+}
+
+}  // namespace cachesched

@@ -1,0 +1,38 @@
+// Centralized FIFO greedy scheduler — an ablation baseline that is greedy
+// but tracks neither the sequential order (PDF) nor per-core locality (WS).
+// Useful for separating "any greedy schedule" effects from the specific
+// policies the paper studies.
+#pragma once
+
+#include <deque>
+
+#include "core/scheduler.h"
+
+namespace cachesched {
+
+class CentralFifoScheduler final : public Scheduler {
+ public:
+  void reset(const TaskDag& dag, int num_cores) override {
+    (void)dag;
+    (void)num_cores;
+    queue_.clear();
+  }
+  void enqueue_ready(int core, std::span<const TaskId> ready) override {
+    (void)core;
+    for (TaskId t : ready) queue_.push_back(t);
+  }
+  TaskId acquire(int core) override {
+    (void)core;
+    if (queue_.empty()) return kNoTask;
+    const TaskId t = queue_.front();
+    queue_.pop_front();
+    return t;
+  }
+  bool empty() const override { return queue_.empty(); }
+  const char* name() const override { return "fifo"; }
+
+ private:
+  std::deque<TaskId> queue_;
+};
+
+}  // namespace cachesched

@@ -1,0 +1,34 @@
+// Parallel Depth First scheduler (paper §3, [Blelloch & Gibbons SPAA'04]).
+//
+// When a core needs work it is given the ready task that the *sequential*
+// program would have executed earliest. Task ids are assigned in sequential
+// (1DF) order by the DagBuilder, so the scheduler is simply a min-heap of
+// ready task ids. This is the online realization the paper cites ([6,7,28]):
+// no sequential pre-execution is needed because the builder records the
+// sequential order as the DAG unfolds.
+//
+// Theorem 3.1: on a shared ideal cache of size >= C + P*D, a PDF schedule
+// incurs at most as many misses as the sequential execution with cache C.
+// tests/theorem_test.cc checks this bound empirically.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "core/scheduler.h"
+
+namespace cachesched {
+
+class PdfScheduler final : public Scheduler {
+ public:
+  void reset(const TaskDag& dag, int num_cores) override;
+  void enqueue_ready(int core, std::span<const TaskId> ready) override;
+  TaskId acquire(int core) override;
+  bool empty() const override { return heap_.empty(); }
+  const char* name() const override { return "pdf"; }
+
+ private:
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<TaskId>> heap_;
+};
+
+}  // namespace cachesched

@@ -1,0 +1,44 @@
+#include "sched/ws_scheduler.h"
+
+namespace cachesched {
+
+void WsScheduler::reset(const TaskDag& dag, int num_cores) {
+  (void)dag;
+  deques_.assign(num_cores, {});
+  steals_ = 0;
+}
+
+void WsScheduler::enqueue_ready(int core, std::span<const TaskId> ready) {
+  // Reverse spawn order: first child ends on top.
+  auto& dq = deques_[core];
+  for (size_t i = ready.size(); i-- > 0;) dq.push_back(ready[i]);
+}
+
+TaskId WsScheduler::acquire(int core) {
+  auto& own = deques_[core];
+  if (!own.empty()) {
+    const TaskId t = own.back();  // top
+    own.pop_back();
+    return t;
+  }
+  const int p = static_cast<int>(deques_.size());
+  for (int k = 1; k < p; ++k) {
+    auto& victim = deques_[(core + k) % p];
+    if (!victim.empty()) {
+      const TaskId t = victim.front();  // bottom
+      victim.pop_front();
+      ++steals_;
+      return t;
+    }
+  }
+  return kNoTask;
+}
+
+bool WsScheduler::empty() const {
+  for (const auto& dq : deques_) {
+    if (!dq.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace cachesched

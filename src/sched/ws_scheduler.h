@@ -1,0 +1,37 @@
+// Work Stealing scheduler (paper §3, [Blumofe & Leiserson]).
+//
+// One double-ended queue per core. Newly enabled tasks are pushed on the
+// *top* of the enabling core's deque in reverse spawn order, so the first
+// spawned child is popped first — the depth-first, child-first discipline
+// of Cilk-style work stealing. A core takes work from the top of its own
+// deque; when that is empty it scans the other deques starting at
+// (self+1) mod P and steals from the *bottom* of the first non-empty one
+// (the paper's description, verbatim).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/scheduler.h"
+
+namespace cachesched {
+
+class WsScheduler final : public Scheduler {
+ public:
+  void reset(const TaskDag& dag, int num_cores) override;
+  void enqueue_ready(int core, std::span<const TaskId> ready) override;
+  TaskId acquire(int core) override;
+  bool empty() const override;
+  const char* name() const override { return "ws"; }
+  uint64_t steal_count() const override { return steals_; }
+
+  /// Tasks currently queued on `core`'s deque (diagnostics/tests).
+  size_t deque_size(int core) const { return deques_[core].size(); }
+
+ private:
+  std::vector<std::deque<TaskId>> deques_;
+  uint64_t steals_ = 0;
+};
+
+}  // namespace cachesched

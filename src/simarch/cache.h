@@ -1,0 +1,126 @@
+// Set-associative cache with true-LRU replacement, used for both the
+// private L1s and the shared inclusive L2.
+//
+// Lines are identified by *line number* (byte address >> log2(line size));
+// the engine does the shift once. The set index is the low bits of the line
+// number (all paper configurations have power-of-two set counts; the
+// constructor enforces this).
+//
+// For the shared L2, each line additionally carries:
+//  * a presence mask: which cores' L1s hold a copy (inclusion bookkeeping
+//    and write-invalidation), and
+//  * a dirty bit (writeback traffic accounting).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace cachesched {
+
+class SetAssocCache {
+ public:
+  struct Line {
+    uint64_t tag = 0;          // full line number (not truncated)
+    uint64_t last_used = 0;
+    uint32_t presence = 0;     // L2 only: bit per core with an L1 copy
+    bool dirty = false;
+    bool valid = false;
+  };
+
+  struct Evicted {
+    bool valid = false;
+    uint64_t line = 0;
+    bool dirty = false;
+    uint32_t presence = 0;
+  };
+
+  SetAssocCache(uint64_t num_sets, int ways)
+      : sets_(num_sets), ways_(ways), lines_(num_sets * ways) {
+    if (num_sets == 0 || (num_sets & (num_sets - 1)) != 0) {
+      throw std::invalid_argument("set count must be a power of two");
+    }
+    if (ways <= 0) throw std::invalid_argument("ways must be positive");
+    mask_ = num_sets - 1;
+  }
+
+  uint64_t num_sets() const { return sets_; }
+  int ways() const { return ways_; }
+  uint64_t capacity_lines() const { return sets_ * ways_; }
+
+  /// Probes for `line`; returns the entry or nullptr. Does not touch LRU.
+  Line* probe(uint64_t line) {
+    Line* set = &lines_[(line & mask_) * ways_];
+    for (int w = 0; w < ways_; ++w) {
+      if (set[w].valid && set[w].tag == line) return &set[w];
+    }
+    return nullptr;
+  }
+  const Line* probe(uint64_t line) const {
+    return const_cast<SetAssocCache*>(this)->probe(line);
+  }
+
+  /// Marks `entry` most-recently-used.
+  void touch(Line* entry) { entry->last_used = ++stamp_; }
+
+  /// Installs `line`, evicting the LRU way if the set is full. The caller
+  /// handles the returned eviction (writeback, back-invalidation). The new
+  /// entry is returned via `out`.
+  Evicted install(uint64_t line, bool dirty, Line** out) {
+    Line* set = &lines_[(line & mask_) * ways_];
+    Line* victim = &set[0];
+    for (int w = 0; w < ways_; ++w) {
+      if (!set[w].valid) {
+        victim = &set[w];
+        break;
+      }
+      if (set[w].last_used < victim->last_used) victim = &set[w];
+    }
+    Evicted ev;
+    if (victim->valid) {
+      ev.valid = true;
+      ev.line = victim->tag;
+      ev.dirty = victim->dirty;
+      ev.presence = victim->presence;
+    }
+    victim->tag = line;
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->presence = 0;
+    victim->last_used = ++stamp_;
+    if (out) *out = victim;
+    return ev;
+  }
+
+  /// Invalidates `line` if present; returns whether it was dirty.
+  bool invalidate(uint64_t line) {
+    Line* e = probe(line);
+    if (!e) return false;
+    const bool dirty = e->dirty;
+    e->valid = false;
+    e->dirty = false;
+    e->presence = 0;
+    return dirty;
+  }
+
+  /// Number of valid lines (test/diagnostic helper; O(capacity)).
+  uint64_t valid_lines() const {
+    uint64_t n = 0;
+    for (const Line& l : lines_) n += l.valid;
+    return n;
+  }
+
+  void clear() {
+    for (Line& l : lines_) l = Line{};
+    stamp_ = 0;
+  }
+
+ private:
+  uint64_t sets_;
+  int ways_;
+  uint64_t mask_ = 0;
+  uint64_t stamp_ = 0;
+  std::vector<Line> lines_;
+};
+
+}  // namespace cachesched

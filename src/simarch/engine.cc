@@ -1,0 +1,289 @@
+#include "simarch/engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdlib>
+#include <queue>
+#include <stdexcept>
+
+namespace cachesched {
+
+double SimResult::core_utilization() const {
+  if (cycles == 0 || core_busy_cycles.empty()) return 0.0;
+  double sum = 0;
+  for (uint64_t b : core_busy_cycles) sum += static_cast<double>(b);
+  return sum / (static_cast<double>(cycles) *
+                static_cast<double>(core_busy_cycles.size()));
+}
+
+namespace {
+
+struct Event {
+  uint64_t time;
+  int core;
+};
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.core > b.core;
+  }
+};
+
+}  // namespace
+
+struct CmpSimulator::Core {
+  enum State : uint8_t { kIdle, kRunning, kPendingL2, kCompleting };
+  State state = kIdle;
+  TaskId task = kNoTask;
+  TraceCursor cursor;
+  uint64_t time = 0;
+  uint64_t busy = 0;
+  // Pending shared-L2 access.
+  uint64_t pend_line = 0;
+  uint32_t pend_instr = 0;
+  bool pend_write = false;
+};
+
+CmpSimulator::CmpSimulator(const CmpConfig& config) : cfg_(config) {
+  if (cfg_.cores < 1 || cfg_.cores > 32) {
+    throw std::invalid_argument("1..32 cores supported");
+  }
+  if ((cfg_.line_bytes & (cfg_.line_bytes - 1)) != 0) {
+    throw std::invalid_argument("line size must be a power of two");
+  }
+}
+
+SimResult CmpSimulator::run(const TaskDag& dag, Scheduler& sched) {
+  const int P = cfg_.cores;
+  const int line_shift = std::countr_zero(static_cast<unsigned>(cfg_.line_bytes));
+
+  SimResult res;
+  res.scheduler = sched.name();
+  res.config = cfg_.name;
+  res.cores = P;
+  res.core_busy_cycles.assign(P, 0);
+  if (collect_task_stats_) {
+    res.task_l2_misses.assign(dag.num_tasks(), 0);
+    res.task_refs.assign(dag.num_tasks(), 0);
+  }
+
+  std::vector<SetAssocCache> l1;
+  l1.reserve(P);
+  for (int i = 0; i < P; ++i) l1.emplace_back(cfg_.l1_sets(), cfg_.l1_ways);
+  SetAssocCache l2(cfg_.l2_sets(), cfg_.l2_ways);
+  MemChannel mem(cfg_.mem_latency_cycles, cfg_.mem_service_cycles);
+
+  std::vector<Core> cores(P);
+  std::vector<uint32_t> indeg(dag.num_tasks());
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    indeg[t] = dag.task(t).num_parents;
+  }
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> pq;
+  size_t completed = 0;
+  uint64_t end_time = 0;
+  std::vector<TaskId> ready_buf;
+
+  sched.reset(dag, P);
+  sched.enqueue_ready(0, dag.roots());
+
+  auto start_task = [&](int c, TaskId t, uint64_t now) {
+    Core& core = cores[c];
+    core.task = t;
+    core.cursor = dag.cursor(t);
+    core.time = std::max(core.time, now) + cfg_.task_dispatch_cycles;
+    core.busy += cfg_.task_dispatch_cycles;
+    core.state = Core::kRunning;
+    pq.push({core.time, c});
+  };
+
+  // Processes the core's trace locally until it needs the shared L2, its
+  // task completes, or it runs `quantum_` cycles past the earliest pending
+  // global event (then it yields and re-queues itself).
+  auto run_local = [&](int c) {
+    Core& core = cores[c];
+    SetAssocCache& cache = l1[c];
+    const uint64_t limit =
+        pq.empty() ? UINT64_MAX
+                   : (pq.top().time > UINT64_MAX - quantum_
+                          ? UINT64_MAX
+                          : pq.top().time + quantum_);
+    for (;;) {
+      if (core.time > limit) {  // yield; still kRunning
+        pq.push({core.time, c});
+        return;
+      }
+      TraceOp op = core.cursor.next();
+      switch (op.kind) {
+        case TraceOp::kDone:
+          core.state = Core::kCompleting;
+          pq.push({core.time, c});
+          return;
+        case TraceOp::kCompute:
+          core.time += op.instr;
+          core.busy += op.instr;
+          res.instructions += op.instr;
+          break;
+        case TraceOp::kMem: {
+          res.instructions += op.instr;
+          if (collect_task_stats_) ++res.task_refs[core.task];
+          const uint64_t line = op.addr >> line_shift;
+          if (SetAssocCache::Line* e = cache.probe(line)) {
+            cache.touch(e);
+            if (op.is_write) e->dirty = true;
+            ++res.l1_hits;
+            core.time += op.instr;
+            core.busy += op.instr;
+          } else {
+            core.state = Core::kPendingL2;
+            core.pend_line = line;
+            core.pend_write = op.is_write;
+            core.pend_instr = op.instr;
+            pq.push({core.time, c});
+            return;
+          }
+          break;
+        }
+      }
+    }
+  };
+
+  // Fills core c's L1 with `line`, maintaining L2 inclusion bookkeeping.
+  auto l1_fill = [&](int c, uint64_t line, bool write, uint64_t now) {
+    SetAssocCache::Line* unused;
+    const auto ev = l1[c].install(line, write, &unused);
+    if (ev.valid) {
+      if (SetAssocCache::Line* l2v = l2.probe(ev.line)) {
+        l2v->presence &= ~(1u << c);
+        if (ev.dirty) l2v->dirty = true;
+      } else if (ev.dirty) {
+        // Inclusion was broken by a back-invalidation race; data must still
+        // reach memory.
+        mem.post_writeback(now);
+      }
+    }
+  };
+
+  // Shared-L2 access of core c's pending reference at global time t.
+  auto do_l2_access = [&](int c, uint64_t t) {
+    Core& core = cores[c];
+    const uint64_t line = core.pend_line;
+    const uint32_t mybit = 1u << c;
+    uint64_t lat;
+    if (SetAssocCache::Line* e = l2.probe(line)) {
+      l2.touch(e);
+      if (cfg_.l2_banks > 0) {
+        // Distributed L2: local-bank latency plus ring hops to the line's
+        // home bank (address-interleaved).
+        const int banks = cfg_.l2_banks;
+        const int home = static_cast<int>(line % static_cast<uint64_t>(banks));
+        const int slot = static_cast<int>(
+            static_cast<int64_t>(c) * banks / cfg_.cores);
+        const int d = std::abs(home - slot);
+        const int hops = std::min(d, banks - d);
+        lat = cfg_.l2_local_hit_cycles +
+              static_cast<uint64_t>(hops) * cfg_.bank_hop_cycles;
+      } else {
+        lat = cfg_.l2_hit_cycles;
+      }
+      ++res.l2_hits;
+      if (core.pend_write) {
+        uint32_t others = e->presence & ~mybit;
+        while (others) {
+          const int i = std::countr_zero(others);
+          others &= others - 1;
+          l1[i].invalidate(line);
+          ++res.invalidations;
+        }
+        e->presence &= mybit;
+        e->dirty = true;
+      }
+      e->presence |= mybit;
+    } else {
+      ++res.l2_misses;
+      if (collect_task_stats_) ++res.task_l2_misses[core.task];
+      const uint64_t ready = mem.request(t);
+      lat = ready - t;
+      res.mem_stall_cycles += lat;
+      SetAssocCache::Line* ne;
+      const auto ev = l2.install(line, core.pend_write, &ne);
+      ne->presence = mybit;
+      // Non-inclusive L2: an eviction does not back-invalidate L1 copies
+      // (see header comment); a dirty victim is written off-chip.
+      if (ev.valid && ev.dirty) mem.post_writeback(t);
+    }
+    l1_fill(c, line, core.pend_write, t);
+    const uint64_t cost = (core.pend_instr - 1) + lat;
+    core.time = t + cost;
+    core.busy += cost;
+    core.state = Core::kRunning;
+    run_local(c);
+  };
+
+  auto do_complete = [&](int c, uint64_t t) {
+    Core& core = cores[c];
+    ++res.tasks_executed;
+    ++completed;
+    end_time = std::max(end_time, t);
+    ready_buf.clear();
+    for (TaskId ch : dag.children(core.task)) {
+      if (--indeg[ch] == 0) ready_buf.push_back(ch);
+    }
+    core.task = kNoTask;
+    core.state = Core::kIdle;
+    if (!ready_buf.empty()) sched.enqueue_ready(c, ready_buf);
+    // Greedy dispatch: the completing core first (it owns the hot deque in
+    // WS), then every idle core in id order. acquire() failure means no
+    // work exists anywhere, so stopping at the first failure is safe.
+    for (int step = 0; step < P + 1; ++step) {
+      const int i = (step == 0) ? c : step - 1;
+      if (cores[i].state != Core::kIdle) continue;
+      const TaskId u = sched.acquire(i);
+      if (u == kNoTask) break;
+      start_task(i, u, t);
+    }
+  };
+
+  for (int i = 0; i < P; ++i) {
+    const TaskId u = sched.acquire(i);
+    if (u == kNoTask) break;
+    start_task(i, u, 0);
+  }
+
+  while (completed < dag.num_tasks()) {
+    if (pq.empty()) {
+      throw std::runtime_error(
+          "simulation deadlock: tasks remain but no core is active "
+          "(unreachable tasks in DAG?)");
+    }
+    const Event evt = pq.top();
+    pq.pop();
+    Core& core = cores[evt.core];
+    assert(core.time == evt.time);
+    switch (core.state) {
+      case Core::kRunning:
+        run_local(evt.core);
+        break;
+      case Core::kPendingL2:
+        do_l2_access(evt.core, evt.time);
+        break;
+      case Core::kCompleting:
+        do_complete(evt.core, evt.time);
+        break;
+      case Core::kIdle:
+        assert(false && "idle core should have no events");
+        break;
+    }
+  }
+
+  res.cycles = end_time;
+  res.writebacks = mem.writebacks();
+  res.mem_queue_cycles = mem.queue_delay_cycles();
+  res.mem_busy_cycles = mem.busy_cycles();
+  res.steals = sched.steal_count();
+  for (int i = 0; i < P; ++i) res.core_busy_cycles[i] = cores[i].busy;
+  return res;
+}
+
+}  // namespace cachesched

@@ -1,0 +1,77 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace cachesched {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  used_[key] = true;
+  return kv_.count(key) > 0;
+}
+
+std::string CliArgs::get(const std::string& key, const std::string& def) const {
+  used_[key] = true;
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+int64_t CliArgs::get_int(const std::string& key, int64_t def) const {
+  auto s = get(key, "");
+  return s.empty() ? def : std::stoll(s);
+}
+
+double CliArgs::get_double(const std::string& key, double def) const {
+  auto s = get(key, "");
+  return s.empty() ? def : std::stod(s);
+}
+
+bool CliArgs::get_bool(const std::string& key, bool def) const {
+  auto s = get(key, "");
+  if (s.empty()) return def;
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+std::vector<int64_t> CliArgs::get_int_list(const std::string& key,
+                                           std::vector<int64_t> def) const {
+  auto s = get(key, "");
+  if (s.empty()) return def;
+  std::vector<int64_t> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoll(item));
+  }
+  return out;
+}
+
+std::vector<std::string> CliArgs::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    (void)v;
+    if (!used_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace cachesched

@@ -1,0 +1,40 @@
+// Minimal command-line parsing for bench/example binaries.
+// Supports --key=value, --key value, and boolean --flag forms. Unknown keys
+// are reported so that experiment scripts fail loudly instead of silently
+// running the wrong sweep.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cachesched {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  int64_t get_int(const std::string& key, int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Comma-separated integer list, e.g. --cores=1,2,4,8.
+  std::vector<int64_t> get_int_list(const std::string& key,
+                                    std::vector<int64_t> def) const;
+
+  /// Keys that were provided but never queried; call at the end of main()
+  /// to warn about typos.
+  std::vector<std::string> unused() const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> kv_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace cachesched

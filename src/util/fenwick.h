@@ -1,0 +1,52 @@
+// Fenwick (binary indexed) tree over a fixed-size array of counters.
+// Used by the LruTree working-set profiler as the order-statistic index that
+// turns "how many lines were touched more recently than X?" into an
+// O(log n) prefix-sum query (the role played by the B-tree-over-linked-list
+// structure in the paper; see DESIGN.md §3 for the substitution note).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cachesched {
+
+class Fenwick {
+ public:
+  Fenwick() = default;
+  explicit Fenwick(size_t n) : tree_(n + 1, 0) {}
+
+  void reset(size_t n) { tree_.assign(n + 1, 0); }
+
+  size_t size() const { return tree_.empty() ? 0 : tree_.size() - 1; }
+
+  /// Add `delta` at position `i` (0-based).
+  void add(size_t i, int64_t delta) {
+    assert(i < size());
+    for (size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
+      tree_[j] += delta;
+    }
+  }
+
+  /// Sum of positions [0, i) (0-based, exclusive upper bound).
+  int64_t prefix_sum(size_t i) const {
+    assert(i <= size());
+    int64_t s = 0;
+    for (size_t j = i; j > 0; j -= j & (~j + 1)) s += tree_[j];
+    return s;
+  }
+
+  /// Sum of positions [lo, hi).
+  int64_t range_sum(size_t lo, size_t hi) const {
+    assert(lo <= hi);
+    return prefix_sum(hi) - prefix_sum(lo);
+  }
+
+  int64_t total() const { return prefix_sum(size()); }
+
+ private:
+  std::vector<int64_t> tree_;
+};
+
+}  // namespace cachesched

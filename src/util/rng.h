@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation for workload synthesis and
+// property tests. All simulator results must be reproducible bit-for-bit
+// from a seed, so we do not use std::random_device or unseeded engines
+// anywhere in the library.
+#pragma once
+
+#include <cstdint>
+
+namespace cachesched {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used both as a standalone
+/// generator for address scrambling and to seed Xoshiro256**.
+struct SplitMix64 {
+  uint64_t state = 0;
+
+  constexpr explicit SplitMix64(uint64_t seed) : state(seed) {}
+
+  constexpr uint64_t next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Stateless mix of a single 64-bit value; handy for hashing (task id,
+/// iteration) pairs into reproducible pseudo-random addresses.
+constexpr uint64_t mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Xoshiro256**: fast general-purpose engine for workload generators.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Uses the multiply-shift trick (Lemire);
+  /// bias is negligible for our bounds (< 2^40).
+  uint64_t next_below(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace cachesched

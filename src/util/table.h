@@ -1,0 +1,37 @@
+// Console table / CSV emission for bench harnesses. Every figure bench
+// prints (a) an aligned human-readable table and (b) optionally a CSV file,
+// so results can be diffed against EXPERIMENTS.md and replotted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cachesched {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  static std::string num(double v, int precision = 3);
+  static std::string num(uint64_t v);
+  static std::string num(int64_t v);
+
+  /// Renders an aligned ASCII table.
+  std::string to_string() const;
+
+  /// Renders CSV (RFC-4180-ish; our cells never contain commas/quotes).
+  std::string to_csv() const;
+
+  /// Writes CSV to `path` if non-empty; prints the table to stdout.
+  void emit(const std::string& csv_path = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cachesched

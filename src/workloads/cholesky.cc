@@ -1,0 +1,180 @@
+#include "workloads/cholesky.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace cachesched {
+namespace {
+
+constexpr const char* kFile = "workloads/cholesky.cc";
+constexpr int kCholSite = 1;
+constexpr int kSyrkSite = 2;
+constexpr uint64_t kDivideInstr = 96;
+constexpr uint64_t kJoinInstr = 64;
+
+struct Ctx {
+  const CholeskyParams* p;
+  DagBuilder* b;
+  uint64_t base;
+  uint32_t nb;
+  uint64_t block_bytes;
+  uint32_t potrf_ipr, trsm_ipr, gemm_ipr;
+};
+
+uint64_t blk(const Ctx& c, uint32_t i, uint32_t j) {
+  return c.base + (static_cast<uint64_t>(i) * c.nb + j) * c.block_bytes;
+}
+
+TaskId task1(Ctx& c, TaskId dep, const RefBlock& rb) {
+  const TaskId deps[] = {dep};
+  const RefBlock blocks[] = {rb};
+  return c.b->add_task(std::span<const TaskId>(deps, dep == kNoTask ? 0 : 1),
+                       std::span<const RefBlock>(blocks, 1));
+}
+
+TaskId join2(Ctx& c, TaskId a, TaskId b2) {
+  const TaskId deps[] = {a, b2};
+  const RefBlock blocks[] = {RefBlock::compute(kJoinInstr)};
+  return c.b->add_task(std::span<const TaskId>(deps, 2),
+                       std::span<const RefBlock>(blocks, 1));
+}
+
+// C(ci,cj) -= A(ai,aj) * B(bi,bj)^T over s x s blocks (general update).
+TaskId gemm_t(Ctx& c, uint32_t ci, uint32_t cj, uint32_t ai, uint32_t aj,
+              uint32_t bi, uint32_t bj, uint32_t s, TaskId dep) {
+  if (s == 1) {
+    return task1(c, dep,
+                 merge_pass(blk(c, ai, aj), c.block_bytes, blk(c, bi, bj),
+                            c.block_bytes, blk(c, ci, cj), c.block_bytes,
+                            c.p->line_bytes, c.gemm_ipr));
+  }
+  const TaskId divide = task1(c, dep, RefBlock::compute(kDivideInstr));
+  const uint32_t h = s / 2;
+  TaskId w1[4], w2[4];
+  const struct { uint32_t qi, qj; } q[4] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  for (int x = 0; x < 4; ++x) {
+    w1[x] = gemm_t(c, ci + q[x].qi * h, cj + q[x].qj * h, ai + q[x].qi * h,
+                   aj, bi + q[x].qj * h, bj, h, divide);
+  }
+  for (int x = 0; x < 4; ++x) {
+    w2[x] = gemm_t(c, ci + q[x].qi * h, cj + q[x].qj * h, ai + q[x].qi * h,
+                   aj + h, bi + q[x].qj * h, bj + h, h, w1[x]);
+  }
+  const TaskId deps[] = {w2[0], w2[1], w2[2], w2[3]};
+  const RefBlock blocks[] = {RefBlock::compute(kJoinInstr)};
+  return c.b->add_task(std::span<const TaskId>(deps, 4),
+                       std::span<const RefBlock>(blocks, 1));
+}
+
+// C(ci,ci..) -= A * A^T, lower triangle only (symmetric rank update).
+TaskId syrk(Ctx& c, uint32_t ci, uint32_t ai, uint32_t aj, uint32_t s,
+            TaskId dep) {
+  if (s == 1) {
+    return task1(c, dep,
+                 merge_pass(blk(c, ai, aj), c.block_bytes, blk(c, ai, aj),
+                            c.block_bytes, blk(c, ci, ci), c.block_bytes,
+                            c.p->line_bytes, c.gemm_ipr));
+  }
+  c.b->begin_group(kFile, kSyrkSite, static_cast<int64_t>(s) * c.p->block);
+  const TaskId divide = task1(c, dep, RefBlock::compute(kDivideInstr));
+  const uint32_t h = s / 2;
+  // Diagonal quadrants: recursive syrk (two each, A halves); off-diagonal:
+  // general update.
+  const TaskId s00a = syrk(c, ci, ai, aj, h, divide);
+  const TaskId s00b = syrk(c, ci, ai, aj + h, h, s00a);
+  const TaskId g10 =
+      gemm_t(c, ci + h, ci, ai + h, aj, ai, aj, h, divide);
+  const TaskId g10b =
+      gemm_t(c, ci + h, ci, ai + h, aj + h, ai, aj + h, h, g10);
+  const TaskId s11a = syrk(c, ci + h, ai + h, aj, h, divide);
+  const TaskId s11b = syrk(c, ci + h, ai + h, aj + h, h, s11a);
+  const TaskId j1 = join2(c, s00b, g10b);
+  const TaskId join = join2(c, j1, s11b);
+  c.b->end_group();
+  return join;
+}
+
+// X(xi,xj..) <- X L(li,lj)^-T over s x s blocks.
+TaskId trsm_rt(Ctx& c, uint32_t xi, uint32_t xj, uint32_t li, uint32_t lj,
+               uint32_t s, TaskId dep) {
+  if (s == 1) {
+    return task1(c, dep,
+                 merge_pass(blk(c, li, lj), c.block_bytes, blk(c, xi, xj),
+                            c.block_bytes, blk(c, xi, xj), c.block_bytes,
+                            c.p->line_bytes, c.trsm_ipr));
+  }
+  const TaskId divide = task1(c, dep, RefBlock::compute(kDivideInstr));
+  const uint32_t h = s / 2;
+  const TaskId t0 = trsm_rt(c, xi, xj, li, lj, h, divide);
+  const TaskId t1 = trsm_rt(c, xi + h, xj, li, lj, h, divide);
+  const TaskId m0 = gemm_t(c, xi, xj + h, xi, xj, li + h, lj, h, t0);
+  const TaskId m1 = gemm_t(c, xi + h, xj + h, xi + h, xj, li + h, lj, h, t1);
+  const TaskId b0 = trsm_rt(c, xi, xj + h, li + h, lj + h, h, m0);
+  const TaskId b1 = trsm_rt(c, xi + h, xj + h, li + h, lj + h, h, m1);
+  return join2(c, b0, b1);
+}
+
+TaskId chol_rec(Ctx& c, uint32_t i, uint32_t s, TaskId dep) {
+  if (s == 1) {
+    return task1(c, dep,
+                 read_write_pass(blk(c, i, i), c.block_bytes, blk(c, i, i),
+                                 c.block_bytes, c.p->line_bytes,
+                                 c.potrf_ipr));
+  }
+  c.b->begin_group(kFile, kCholSite, static_cast<int64_t>(s) * c.p->block);
+  const uint32_t h = s / 2;
+  const TaskId c0 = chol_rec(c, i, h, dep);
+  const TaskId solve = trsm_rt(c, i + h, i, i, i, h, c0);
+  const TaskId update = syrk(c, i + h, i + h, i, h, solve);
+  const TaskId c1 = chol_rec(c, i + h, h, update);
+  c.b->end_group();
+  return c1;
+}
+
+}  // namespace
+
+std::string CholeskyParams::describe() const {
+  std::ostringstream os;
+  os << n << "x" << n << " doubles (" << (uint64_t(n) * n * elem_bytes >> 20)
+     << "MB), block " << block;
+  return os.str();
+}
+
+Workload build_cholesky(const CholeskyParams& p) {
+  if (p.n % p.block != 0) {
+    throw std::invalid_argument("cholesky: n must be a multiple of block");
+  }
+  const uint32_t nb = p.n / p.block;
+  if ((nb & (nb - 1)) != 0) {
+    throw std::invalid_argument("cholesky: n/block must be a power of two");
+  }
+  Ctx c;
+  c.p = &p;
+  c.nb = nb;
+  c.block_bytes = static_cast<uint64_t>(p.block) * p.block * p.elem_bytes;
+  AddressAllocator alloc(p.line_bytes);
+  c.base = alloc.alloc(static_cast<uint64_t>(nb) * nb * c.block_bytes);
+
+  const uint64_t b3 = static_cast<uint64_t>(p.block) * p.block * p.block;
+  const uint32_t block_lines = lines_for(c.block_bytes, p.line_bytes);
+  c.potrf_ipr =
+      std::max<uint32_t>(static_cast<uint32_t>(b3 / 3 / (2 * block_lines)), 1);
+  c.trsm_ipr =
+      std::max<uint32_t>(static_cast<uint32_t>(b3 / (3 * block_lines)), 1);
+  c.gemm_ipr =
+      std::max<uint32_t>(static_cast<uint32_t>(2 * b3 / (3 * block_lines)), 1);
+
+  DagBuilder b;
+  c.b = &b;
+  chol_rec(c, 0, nb, kNoTask);
+
+  Workload w;
+  w.name = "cholesky";
+  w.params = p.describe();
+  w.dag = b.finish();
+  w.footprint_bytes = alloc.bytes_allocated();
+  return w;
+}
+
+}  // namespace cachesched

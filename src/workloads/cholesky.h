@@ -1,0 +1,32 @@
+// Cholesky factorization workload (paper §5.5 extended benchmark, from the
+// Cilk distribution): recursive factorization of a symmetric positive-
+// definite matrix, structurally a cousin of LU —
+//
+//   chol([A00 .; A10 A11]):
+//     chol(A00)
+//     A10 <- A10 L00^-T          (triangular solve)
+//     A11 -= A10 A10^T           (recursive symmetric rank-k update)
+//     chol(A11)
+//
+// Like LU it belongs to the small-working-set class where PDF matches WS
+// in time while still shrinking the cached footprint.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/common.h"
+
+namespace cachesched {
+
+struct CholeskyParams {
+  uint32_t n = 1024;
+  uint32_t block = 32;
+  uint32_t elem_bytes = 8;
+  uint32_t line_bytes = 128;
+
+  std::string describe() const;
+};
+
+Workload build_cholesky(const CholeskyParams& p);
+
+}  // namespace cachesched

@@ -1,0 +1,155 @@
+#include "workloads/hashjoin.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace cachesched {
+namespace {
+
+constexpr const char* kFile = "workloads/hashjoin.cc";
+constexpr int kSubPartitionSite = 1;
+constexpr int kProbeSite = 2;
+
+// Random accesses into the hash table per record: bucket header + record.
+constexpr uint32_t kHtAccessesPerBuild = 2;   // writes
+constexpr uint32_t kHtAccessesPerProbe = 2;   // reads
+
+}  // namespace
+
+std::string HashJoinParams::describe() const {
+  std::ostringstream os;
+  os << "build=" << (build_bytes >> 20) << "MB, probe="
+     << ((build_bytes * probe_per_build) >> 20) << "MB, rec=" << record_bytes
+     << "B, ht~" << static_cast<uint64_t>(ht_l2_fraction * l2_bytes) / 1024
+     << "KB" << (fine_grained ? "" : ", coarse (1 task/sub-partition)");
+  return os.str();
+}
+
+Workload build_hashjoin(const HashJoinParams& p) {
+  const uint64_t ht_bytes =
+      std::max<uint64_t>(static_cast<uint64_t>(p.ht_l2_fraction * p.l2_bytes),
+                         64 * 1024);
+  // Hash table ≈ build fragment + 20% bucket overhead.
+  const uint64_t frag_bytes = std::max<uint64_t>(ht_bytes * 5 / 6, 64 * 1024);
+  const uint64_t frag_records = std::max<uint64_t>(frag_bytes / p.record_bytes, 1);
+  const uint64_t total_build_records = p.build_bytes / p.record_bytes;
+  const uint64_t num_subparts =
+      std::max<uint64_t>((total_build_records + frag_records - 1) / frag_records, 1);
+
+  AddressAllocator alloc(p.line_bytes);
+  const uint64_t build_base = alloc.alloc(p.build_bytes);
+  const uint64_t probe_base = alloc.alloc(p.build_bytes * p.probe_per_build);
+  const uint64_t out_base =
+      alloc.alloc(p.build_bytes * p.probe_per_build * 2);  // concat records
+  std::vector<uint64_t> ht_base(num_subparts);
+  for (uint64_t i = 0; i < num_subparts; ++i) ht_base[i] = alloc.alloc(ht_bytes);
+
+  DagBuilder b;
+  const RefBlock root_blocks[] = {RefBlock::compute(256)};
+  const TaskId root = b.add_task(std::span<const TaskId>{},
+                                 std::span<const RefBlock>(root_blocks, 1));
+
+  // Emits one build-phase chunk: scan a slice of the build fragment and
+  // insert into the hash table (random writes).
+  auto emit_build_trace = [&](uint64_t sub, uint64_t rec_lo, uint64_t recs,
+                              std::vector<RefBlock>* out) {
+    const uint64_t bytes = recs * p.record_bytes;
+    const uint32_t scan_lines = lines_for(bytes, p.line_bytes);
+    const uint32_t ht_refs = static_cast<uint32_t>(recs * kHtAccessesPerBuild);
+    const uint32_t total_refs = scan_lines + ht_refs;
+    const uint32_t ipr = std::max<uint32_t>(
+        static_cast<uint32_t>(recs * p.build_instr_per_record / total_refs), 1);
+    out->push_back(RefBlock::stride_ref(build_base + rec_lo * p.record_bytes,
+                                        scan_lines, p.line_bytes, false, ipr));
+    out->push_back(RefBlock::random_ref(ht_base[sub], ht_bytes, ht_refs,
+                                        p.seed * 1315423911u + sub * 2654435761u +
+                                            rec_lo,
+                                        true, ipr));
+  };
+
+  // Emits one probe chunk: scan probe records, look each up in the hash
+  // table (random reads), write concatenated output records.
+  auto emit_probe_trace = [&](uint64_t sub, uint64_t probe_rec_lo,
+                              uint64_t recs, std::vector<RefBlock>* out) {
+    const uint64_t in_bytes = recs * p.record_bytes;
+    const uint64_t out_bytes = recs * p.record_bytes * 2;  // build ++ probe
+    const uint32_t scan_lines = lines_for(in_bytes, p.line_bytes);
+    const uint32_t out_lines = lines_for(out_bytes, p.line_bytes);
+    const uint32_t ht_refs = static_cast<uint32_t>(recs * kHtAccessesPerProbe);
+    const uint32_t total_refs = scan_lines + out_lines + ht_refs;
+    const uint32_t ipr = std::max<uint32_t>(
+        static_cast<uint32_t>(recs * p.probe_instr_per_record / total_refs), 1);
+    // Interleave the input scan with the output stream; the hash-table
+    // lookups are interspersed as a random block between half-chunks so
+    // that the three access classes overlap in time the way the real probe
+    // loop's do.
+    StreamRef s[2];
+    s[0] = {probe_base + probe_rec_lo * p.record_bytes, scan_lines, false};
+    s[1] = {out_base + probe_rec_lo * p.record_bytes * 2, out_lines, true};
+    out->push_back(RefBlock::random_ref(
+        ht_base[sub], ht_bytes, ht_refs / 2,
+        p.seed * 40503u + sub * 2246822519u + probe_rec_lo, false, ipr));
+    out->push_back(RefBlock::interleave(s, 2, p.line_bytes, ipr));
+    out->push_back(RefBlock::random_ref(
+        ht_base[sub], ht_bytes, ht_refs - ht_refs / 2,
+        p.seed * 83492791u + sub * 3266489917u + probe_rec_lo + 1, false, ipr));
+  };
+
+  uint64_t build_rec = 0;
+  for (uint64_t sub = 0; sub < num_subparts; ++sub) {
+    const uint64_t recs = std::min(frag_records, total_build_records - build_rec);
+    if (recs == 0) break;
+    const uint64_t probe_recs = recs * p.probe_per_build;
+    const uint64_t probe_rec_lo = build_rec * p.probe_per_build;
+    b.begin_group(kFile, kSubPartitionSite, static_cast<int64_t>(recs));
+
+    if (!p.fine_grained) {
+      // Original code: the whole sub-partition is one task.
+      std::vector<RefBlock> blocks;
+      emit_build_trace(sub, build_rec, recs, &blocks);
+      emit_probe_trace(sub, probe_rec_lo, probe_recs, &blocks);
+      const TaskId deps[] = {root};
+      b.add_task(std::span<const TaskId>(deps, 1),
+                 std::span<const RefBlock>(blocks.data(), blocks.size()));
+      b.end_group();
+      build_rec += recs;
+      continue;
+    }
+
+    std::vector<RefBlock> build_blocks;
+    // Chunk the build scan so reads and hash-table writes interleave.
+    const uint64_t build_chunk = std::max<uint64_t>(recs / 16, 1);
+    for (uint64_t r = 0; r < recs; r += build_chunk) {
+      emit_build_trace(sub, build_rec + r, std::min(build_chunk, recs - r),
+                       &build_blocks);
+    }
+    const TaskId bdeps[] = {root};
+    const TaskId build = b.add_task(
+        std::span<const TaskId>(bdeps, 1),
+        std::span<const RefBlock>(build_blocks.data(), build_blocks.size()));
+
+    b.begin_group(kFile, kProbeSite, static_cast<int64_t>(probe_recs));
+    for (uint64_t r = 0; r < probe_recs; r += p.probe_task_records) {
+      std::vector<RefBlock> blocks;
+      emit_probe_trace(sub, probe_rec_lo + r,
+                       std::min<uint64_t>(p.probe_task_records, probe_recs - r),
+                       &blocks);
+      const TaskId pdeps[] = {build};
+      b.add_task(std::span<const TaskId>(pdeps, 1),
+                 std::span<const RefBlock>(blocks.data(), blocks.size()));
+    }
+    b.end_group();
+    b.end_group();
+    build_rec += recs;
+  }
+
+  Workload w;
+  w.name = "hashjoin";
+  w.params = p.describe();
+  w.dag = b.finish();
+  w.footprint_bytes = alloc.bytes_allocated();
+  return w;
+}
+
+}  // namespace cachesched

@@ -1,0 +1,77 @@
+#include "workloads/heat.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cachesched {
+namespace {
+
+constexpr const char* kFile = "workloads/heat.cc";
+constexpr int kStepSite = 1;
+
+}  // namespace
+
+std::string HeatParams::describe() const {
+  std::ostringstream os;
+  os << rows << "x" << cols << " grid ("
+     << (static_cast<uint64_t>(rows) * cols * elem_bytes >> 20)
+     << "MB), block_rows=" << block_rows << ", steps=" << steps;
+  return os.str();
+}
+
+Workload build_heat(const HeatParams& p) {
+  if (p.rows % p.block_rows != 0) {
+    throw std::invalid_argument("heat: rows must be a multiple of block_rows");
+  }
+  const uint32_t nblocks = p.rows / p.block_rows;
+  const uint64_t row_bytes = static_cast<uint64_t>(p.cols) * p.elem_bytes;
+  const uint64_t grid_bytes = row_bytes * p.rows;
+
+  AddressAllocator alloc(p.line_bytes);
+  const uint64_t grid[2] = {alloc.alloc(grid_bytes), alloc.alloc(grid_bytes)};
+  auto row_addr = [&](int g, uint64_t r) { return grid[g] + r * row_bytes; };
+
+  const uint32_t cells_per_line = p.line_bytes / p.elem_bytes;
+  // Per destination line: ~1 write + ~1 read of the source block (the
+  // 3 source rows of the stencil largely overlap in lines row-to-row).
+  const uint32_t ipr =
+      std::max<uint32_t>(p.instr_per_cell * cells_per_line / 2, 1);
+
+  DagBuilder b;
+  std::vector<TaskId> prev(nblocks, kNoTask), cur(nblocks, kNoTask);
+  for (uint32_t t = 0; t < p.steps; ++t) {
+    const int src = t % 2, dst = 1 - src;
+    b.begin_group(kFile, kStepSite, static_cast<int64_t>(p.steps - t));
+    for (uint32_t blk = 0; blk < nblocks; ++blk) {
+      const uint64_t r0 = static_cast<uint64_t>(blk) * p.block_rows;
+      // Source: own rows plus one halo row on each side.
+      const uint64_t src_lo = r0 == 0 ? 0 : r0 - 1;
+      const uint64_t src_hi =
+          std::min<uint64_t>(r0 + p.block_rows + 1, p.rows);
+      const RefBlock blocks[] = {read_write_pass(
+          row_addr(src, src_lo), (src_hi - src_lo) * row_bytes,
+          row_addr(dst, r0), p.block_rows * row_bytes, p.line_bytes, ipr)};
+      std::vector<TaskId> deps;
+      if (t > 0) {
+        if (blk > 0) deps.push_back(prev[blk - 1]);
+        deps.push_back(prev[blk]);
+        if (blk + 1 < nblocks) deps.push_back(prev[blk + 1]);
+      }
+      cur[blk] = b.add_task(std::span<const TaskId>(deps.data(), deps.size()),
+                            std::span<const RefBlock>(blocks, 1));
+    }
+    b.end_group();
+    std::swap(prev, cur);
+  }
+
+  Workload w;
+  w.name = "heat";
+  w.params = p.describe();
+  w.dag = b.finish();
+  w.footprint_bytes = alloc.bytes_allocated();
+  return w;
+}
+
+}  // namespace cachesched

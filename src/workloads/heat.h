@@ -1,0 +1,29 @@
+// Heat diffusion workload (paper §5.5 extended benchmark, from the Cilk
+// distribution): iterative 2-D Jacobi stencil. Each timestep is decomposed
+// into row-block tasks; a block at step t depends on its own block and both
+// neighbors at step t-1. Two grids alternate as source/destination.
+// Representative of scientific-simulation benchmarks with regular,
+// streaming reuse.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/common.h"
+
+namespace cachesched {
+
+struct HeatParams {
+  uint32_t rows = 2048;
+  uint32_t cols = 2048;       // 4-byte floats
+  uint32_t elem_bytes = 4;
+  uint32_t block_rows = 64;   // rows per task (granularity knob)
+  uint32_t steps = 16;
+  uint32_t line_bytes = 128;
+  uint32_t instr_per_cell = 6;
+
+  std::string describe() const;
+};
+
+Workload build_heat(const HeatParams& p);
+
+}  // namespace cachesched

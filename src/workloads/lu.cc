@@ -1,0 +1,205 @@
+#include "workloads/lu.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cachesched {
+namespace {
+
+constexpr const char* kFile = "workloads/lu.cc";
+constexpr int kLuSite = 1;
+constexpr int kSolveSite = 2;
+constexpr int kSchurSite = 3;
+constexpr uint64_t kDivideInstr = 96;
+constexpr uint64_t kJoinInstr = 64;
+
+// Recursive quadrant LU after the Cilk distribution benchmark:
+//
+//   lu([A00 A01; A10 A11]):
+//     lu(A00)
+//     parallel: A01 <- L00^-1 A01 (lower_solve), A10 <- A10 U00^-1
+//               (upper_solve)
+//     A11 -= A10 * A01           (schur: recursive matmul)
+//     lu(A11)
+//
+// with the solves and the Schur update themselves recursing on quadrants —
+// the cache-oblivious structure whose small per-task working sets are the
+// reason LU's miss ratio is tiny in the paper.
+struct Ctx {
+  const LuParams* p;
+  DagBuilder* b;
+  uint64_t base;
+  uint32_t nb;
+  uint64_t block_bytes;
+  uint32_t getrf_ipr, trsm_ipr, gemm_ipr;
+};
+
+uint64_t blk(const Ctx& c, uint32_t i, uint32_t j) {
+  return c.base + (static_cast<uint64_t>(i) * c.nb + j) * c.block_bytes;
+}
+
+TaskId task1(Ctx& c, TaskId dep, const RefBlock& rb) {
+  const TaskId deps[] = {dep};
+  const RefBlock blocks[] = {rb};
+  return c.b->add_task(std::span<const TaskId>(deps, dep == kNoTask ? 0 : 1),
+                       std::span<const RefBlock>(blocks, 1));
+}
+
+TaskId join2(Ctx& c, TaskId a, TaskId b2) {
+  const TaskId deps[] = {a, b2};
+  const RefBlock blocks[] = {RefBlock::compute(kJoinInstr)};
+  return c.b->add_task(std::span<const TaskId>(deps, 2),
+                       std::span<const RefBlock>(blocks, 1));
+}
+
+// C(ci,cj) -= A(ai,aj) * B(bi,bj), s x s blocks. Completion task returned.
+TaskId schur(Ctx& c, uint32_t ci, uint32_t cj, uint32_t ai, uint32_t aj,
+             uint32_t bi, uint32_t bj, uint32_t s, TaskId dep) {
+  if (s == 1) {
+    return task1(c, dep,
+                 merge_pass(blk(c, ai, aj), c.block_bytes, blk(c, bi, bj),
+                            c.block_bytes, blk(c, ci, cj), c.block_bytes,
+                            c.p->line_bytes, c.gemm_ipr));
+  }
+  c.b->begin_group(kFile, kSchurSite, static_cast<int64_t>(s) * c.p->block);
+  const TaskId divide = task1(c, dep, RefBlock::compute(kDivideInstr));
+  const uint32_t h = s / 2;
+  TaskId w1[4], w2[4];
+  const struct { uint32_t qi, qj; } q[4] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  for (int x = 0; x < 4; ++x) {
+    w1[x] = schur(c, ci + q[x].qi * h, cj + q[x].qj * h, ai + q[x].qi * h,
+                  aj, bi, bj + q[x].qj * h, h, divide);
+  }
+  for (int x = 0; x < 4; ++x) {
+    w2[x] = schur(c, ci + q[x].qi * h, cj + q[x].qj * h, ai + q[x].qi * h,
+                  aj + h, bi + h, bj + q[x].qj * h, h, w1[x]);
+  }
+  const TaskId deps[] = {w2[0], w2[1], w2[2], w2[3]};
+  const RefBlock blocks[] = {RefBlock::compute(kJoinInstr)};
+  const TaskId join = c.b->add_task(std::span<const TaskId>(deps, 4),
+                                    std::span<const RefBlock>(blocks, 1));
+  c.b->end_group();
+  return join;
+}
+
+// X(xi,xj) <- L(li,lj)^-1 X, with L lower-triangular, s x s blocks.
+TaskId lower_solve(Ctx& c, uint32_t xi, uint32_t xj, uint32_t li, uint32_t lj,
+                   uint32_t s, TaskId dep) {
+  if (s == 1) {
+    return task1(c, dep,
+                 merge_pass(blk(c, li, lj), c.block_bytes, blk(c, xi, xj),
+                            c.block_bytes, blk(c, xi, xj), c.block_bytes,
+                            c.p->line_bytes, c.trsm_ipr));
+  }
+  c.b->begin_group(kFile, kSolveSite, static_cast<int64_t>(s) * c.p->block);
+  const TaskId divide = task1(c, dep, RefBlock::compute(kDivideInstr));
+  const uint32_t h = s / 2;
+  // Top rows with L00.
+  const TaskId t0 = lower_solve(c, xi, xj, li, lj, h, divide);
+  const TaskId t1 = lower_solve(c, xi, xj + h, li, lj, h, divide);
+  // Bottom -= L10 * Top.
+  const TaskId m0 = schur(c, xi + h, xj, li + h, lj, xi, xj, h, t0);
+  const TaskId m1 = schur(c, xi + h, xj + h, li + h, lj, xi, xj + h, h, t1);
+  // Bottom rows with L11.
+  const TaskId b0 = lower_solve(c, xi + h, xj, li + h, lj + h, h, m0);
+  const TaskId b1 = lower_solve(c, xi + h, xj + h, li + h, lj + h, h, m1);
+  const TaskId join = join2(c, b0, b1);
+  c.b->end_group();
+  return join;
+}
+
+// X(xi,xj) <- X U(ui,uj)^-1, with U upper-triangular, s x s blocks.
+TaskId upper_solve(Ctx& c, uint32_t xi, uint32_t xj, uint32_t ui, uint32_t uj,
+                   uint32_t s, TaskId dep) {
+  if (s == 1) {
+    return task1(c, dep,
+                 merge_pass(blk(c, ui, uj), c.block_bytes, blk(c, xi, xj),
+                            c.block_bytes, blk(c, xi, xj), c.block_bytes,
+                            c.p->line_bytes, c.trsm_ipr));
+  }
+  c.b->begin_group(kFile, kSolveSite, static_cast<int64_t>(s) * c.p->block);
+  const TaskId divide = task1(c, dep, RefBlock::compute(kDivideInstr));
+  const uint32_t h = s / 2;
+  // Left columns with U00.
+  const TaskId t0 = upper_solve(c, xi, xj, ui, uj, h, divide);
+  const TaskId t1 = upper_solve(c, xi + h, xj, ui, uj, h, divide);
+  // Right -= Left * U01.
+  const TaskId m0 = schur(c, xi, xj + h, xi, xj, ui, uj + h, h, t0);
+  const TaskId m1 = schur(c, xi + h, xj + h, xi + h, xj, ui, uj + h, h, t1);
+  // Right columns with U11.
+  const TaskId b0 = upper_solve(c, xi, xj + h, ui + h, uj + h, h, m0);
+  const TaskId b1 = upper_solve(c, xi + h, xj + h, ui + h, uj + h, h, m1);
+  const TaskId join = join2(c, b0, b1);
+  c.b->end_group();
+  return join;
+}
+
+TaskId lu_rec(Ctx& c, uint32_t i, uint32_t j, uint32_t s, TaskId dep) {
+  if (s == 1) {
+    return task1(c, dep,
+                 read_write_pass(blk(c, i, j), c.block_bytes, blk(c, i, j),
+                                 c.block_bytes, c.p->line_bytes, c.getrf_ipr));
+  }
+  c.b->begin_group(kFile, kLuSite, static_cast<int64_t>(s) * c.p->block);
+  const uint32_t h = s / 2;
+  const TaskId c0 = lu_rec(c, i, j, h, dep);
+  const TaskId divide = task1(c, c0, RefBlock::compute(kDivideInstr));
+  const TaskId s01 = lower_solve(c, i, j + h, i, j, h, divide);
+  const TaskId s10 = upper_solve(c, i + h, j, i, j, h, divide);
+  const TaskId sync = join2(c, s01, s10);
+  const TaskId sc = schur(c, i + h, j + h, i + h, j, i, j + h, h, sync);
+  const TaskId c1 = lu_rec(c, i + h, j + h, h, sc);
+  c.b->end_group();
+  return c1;
+}
+
+}  // namespace
+
+std::string LuParams::describe() const {
+  std::ostringstream os;
+  os << n << "x" << n << " doubles (" << (uint64_t(n) * n * elem_bytes >> 20)
+     << "MB), block " << block;
+  return os.str();
+}
+
+Workload build_lu(const LuParams& p) {
+  if (p.n % p.block != 0) {
+    throw std::invalid_argument("lu: n must be a multiple of block");
+  }
+  const uint32_t nb = p.n / p.block;
+  if ((nb & (nb - 1)) != 0) {
+    throw std::invalid_argument("lu: n/block must be a power of two");
+  }
+  Ctx c;
+  c.p = &p;
+  c.nb = nb;
+  c.block_bytes = static_cast<uint64_t>(p.block) * p.block * p.elem_bytes;
+  AddressAllocator alloc(p.line_bytes);
+  c.base = alloc.alloc(static_cast<uint64_t>(nb) * nb * c.block_bytes);
+
+  const uint64_t b3 = static_cast<uint64_t>(p.block) * p.block * p.block;
+  const uint32_t block_lines = lines_for(c.block_bytes, p.line_bytes);
+  // One instruction per flop: getrf 2/3 B^3 over 2 block passes; trsm B^3
+  // over 3 streams; gemm 2 B^3 over 3 streams.
+  c.getrf_ipr =
+      std::max<uint32_t>(static_cast<uint32_t>(2 * b3 / 3 / (2 * block_lines)), 1);
+  c.trsm_ipr =
+      std::max<uint32_t>(static_cast<uint32_t>(b3 / (3 * block_lines)), 1);
+  c.gemm_ipr =
+      std::max<uint32_t>(static_cast<uint32_t>(2 * b3 / (3 * block_lines)), 1);
+
+  DagBuilder b;
+  c.b = &b;
+  lu_rec(c, 0, 0, nb, kNoTask);
+
+  Workload w;
+  w.name = "lu";
+  w.params = p.describe();
+  w.dag = b.finish();
+  w.footprint_bytes = alloc.bytes_allocated();
+  return w;
+}
+
+}  // namespace cachesched

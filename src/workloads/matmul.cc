@@ -1,0 +1,108 @@
+#include "workloads/matmul.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cachesched {
+namespace {
+
+constexpr const char* kFile = "workloads/matmul.cc";
+constexpr int kMmSite = 1;
+constexpr uint64_t kDivideInstr = 96;
+constexpr uint64_t kJoinInstr = 64;
+
+struct Ctx {
+  const MatmulParams* p;
+  DagBuilder* b;
+  uint64_t base_a, base_b, base_c;
+  uint32_t nb;
+  uint64_t block_bytes;
+  uint32_t gemm_ipr;
+};
+
+uint64_t blk(const Ctx& c, uint64_t base, uint32_t i, uint32_t j) {
+  return base + (static_cast<uint64_t>(i) * c.nb + j) * c.block_bytes;
+}
+
+// C(ci,cj) += A(ai,aj) * B(bi,bj) over an nb_sub x nb_sub block quadrant.
+// Returns the completion task.
+TaskId mm(Ctx& c, uint32_t ci, uint32_t cj, uint32_t ai, uint32_t aj,
+          uint32_t bi, uint32_t bj, uint32_t nb_sub, TaskId dep) {
+  DagBuilder& b = *c.b;
+  if (nb_sub == 1) {
+    const TaskId deps[] = {dep};
+    const RefBlock blocks[] = {
+        merge_pass(blk(c, c.base_a, ai, aj), c.block_bytes,
+                   blk(c, c.base_b, bi, bj), c.block_bytes,
+                   blk(c, c.base_c, ci, cj), c.block_bytes,
+                   c.p->line_bytes, c.gemm_ipr)};
+    return b.add_task(std::span<const TaskId>(deps, dep == kNoTask ? 0 : 1),
+                      std::span<const RefBlock>(blocks, 1));
+  }
+  b.begin_group(kFile, kMmSite,
+                static_cast<int64_t>(nb_sub) * c.p->block);
+  const RefBlock div_blocks[] = {RefBlock::compute(kDivideInstr)};
+  const TaskId ddeps[] = {dep};
+  const TaskId divide =
+      b.add_task(std::span<const TaskId>(ddeps, dep == kNoTask ? 0 : 1),
+                 std::span<const RefBlock>(div_blocks, 1));
+  const uint32_t h = nb_sub / 2;
+  // First wave: k = 0 quadrant products; second wave: k = 1, each depending
+  // on the first-wave product into the same C quadrant.
+  TaskId w1[4], w2[4];
+  const struct { uint32_t cqi, cqj; } q[4] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  for (int x = 0; x < 4; ++x) {
+    w1[x] = mm(c, ci + q[x].cqi * h, cj + q[x].cqj * h, ai + q[x].cqi * h,
+               aj + 0, bi + 0, bj + q[x].cqj * h, h, divide);
+  }
+  for (int x = 0; x < 4; ++x) {
+    w2[x] = mm(c, ci + q[x].cqi * h, cj + q[x].cqj * h, ai + q[x].cqi * h,
+               aj + h, bi + h, bj + q[x].cqj * h, h, w1[x]);
+  }
+  const RefBlock join_blocks[] = {RefBlock::compute(kJoinInstr)};
+  const TaskId jdeps[] = {w2[0], w2[1], w2[2], w2[3]};
+  const TaskId join = b.add_task(std::span<const TaskId>(jdeps, 4),
+                                 std::span<const RefBlock>(join_blocks, 1));
+  b.end_group();
+  return join;
+}
+
+}  // namespace
+
+std::string MatmulParams::describe() const {
+  std::ostringstream os;
+  os << n << "x" << n << " doubles, block " << block;
+  return os.str();
+}
+
+Workload build_matmul(const MatmulParams& p) {
+  if (p.n % p.block != 0 || ((p.n / p.block) & (p.n / p.block - 1)) != 0) {
+    throw std::invalid_argument("matmul: n/block must be a power of two");
+  }
+  Ctx c;
+  c.p = &p;
+  c.nb = p.n / p.block;
+  c.block_bytes = static_cast<uint64_t>(p.block) * p.block * p.elem_bytes;
+  AddressAllocator alloc(p.line_bytes);
+  const uint64_t mat_bytes = static_cast<uint64_t>(c.nb) * c.nb * c.block_bytes;
+  c.base_a = alloc.alloc(mat_bytes);
+  c.base_b = alloc.alloc(mat_bytes);
+  c.base_c = alloc.alloc(mat_bytes);
+  const uint64_t b3 = static_cast<uint64_t>(p.block) * p.block * p.block;
+  const uint32_t block_lines = lines_for(c.block_bytes, p.line_bytes);
+  c.gemm_ipr =
+      std::max<uint32_t>(static_cast<uint32_t>(2 * b3 / (3 * block_lines)), 1);
+
+  DagBuilder b;
+  c.b = &b;
+  mm(c, 0, 0, 0, 0, 0, 0, c.nb, kNoTask);
+
+  Workload w;
+  w.name = "matmul";
+  w.params = p.describe();
+  w.dag = b.finish();
+  w.footprint_bytes = alloc.bytes_allocated();
+  return w;
+}
+
+}  // namespace cachesched

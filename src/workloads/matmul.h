@@ -1,0 +1,26 @@
+// Matrix Multiply workload (paper §5.5 extended benchmark): recursive
+// divide-and-conquer C += A*B in the Cilk style — each level spawns the
+// four k=0 quadrant products in parallel, syncs, then the four k=1
+// products. Representative of the "small working set" class: blocks are
+// reused heavily, so WS matches PDF (the aggregate working set fits on
+// chip) — the paper's second finding.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/common.h"
+
+namespace cachesched {
+
+struct MatmulParams {
+  uint32_t n = 512;
+  uint32_t block = 32;
+  uint32_t elem_bytes = 8;
+  uint32_t line_bytes = 128;
+
+  std::string describe() const;
+};
+
+Workload build_matmul(const MatmulParams& p);
+
+}  // namespace cachesched

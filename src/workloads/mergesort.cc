@@ -1,0 +1,249 @@
+#include "workloads/mergesort.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+namespace cachesched {
+namespace {
+
+constexpr const char* kFile = "workloads/mergesort.cc";
+// Call-site tags used by the Figure 7(b) parallelization table.
+constexpr int kSortSite = 1;
+constexpr int kMergeSite = 2;
+
+constexpr uint64_t kDivideInstr = 128;   // spawn bookkeeping
+constexpr uint64_t kJoinInstr = 64;      // sync bookkeeping
+constexpr uint32_t kLeafBaseRun = 32;    // insertion-sorted base runs
+constexpr uint32_t kSearchInstrPerRef = 24;
+
+struct Ctx {
+  const MergesortParams* p;
+  DagBuilder* b;
+  uint64_t base_a;       // primary array
+  uint64_t base_b;       // merge buffer
+  uint64_t leaf_elems;
+  uint32_t epl;          // elements per line
+  uint32_t merge_instr_per_ref;
+};
+
+struct SubSort {
+  TaskId done;  // completion task of the subtree
+  int side;     // 0: output in A, 1: output in B
+};
+
+uint64_t region(const Ctx& c, int side, uint64_t lo) {
+  return (side == 0 ? c.base_a : c.base_b) + lo * c.p->elem_bytes;
+}
+
+/// Number of parallel merge chunks for an output of `n` elements.
+/// Combines the paper's per-level rule (64 aggregate merge tasks per DAG
+/// level within the half-L2 subtree, §5 footnote 5) with the task-working-
+/// set ceiling (§5.4): chunk working set (2 * chunk bytes) <= task_ws.
+uint32_t chunks_for_merge(const Ctx& c, uint64_t n) {
+  const MergesortParams& p = *c.p;
+  if (!p.parallel_merge) return 1;
+  const uint64_t out_bytes = n * p.elem_bytes;
+  const uint64_t half_l2 = std::max<uint64_t>(p.l2_bytes / 2, 1);
+  uint64_t rule_k = p.merge_tasks_per_level * out_bytes / half_l2;
+  uint64_t ws_k = (2 * out_bytes + p.task_ws_bytes - 1) / p.task_ws_bytes;
+  uint64_t k = std::max<uint64_t>({rule_k, ws_k, 1});
+  // Chunks must cover at least two lines of output each.
+  const uint64_t max_k = std::max<uint64_t>(n / (2 * c.epl), 1);
+  k = std::min<uint64_t>({k, max_k, 256});
+  return static_cast<uint32_t>(k);
+}
+
+/// Sequential leaf sort of `n` elements at offset `lo`: one insertion pass
+/// over the region, then log2(n / base_run) merge passes alternating
+/// between A and B, ending in A (with a copy-back pass if the natural
+/// parity ends in B — as real implementations do).
+TaskId emit_leaf(const Ctx& c, uint64_t lo, uint64_t n, TaskId dep) {
+  const MergesortParams& p = *c.p;
+  const uint64_t bytes = n * p.elem_bytes;
+  std::vector<RefBlock> blocks;
+  // Insertion-sort pass (read-modify-write the region).
+  blocks.push_back(read_write_pass(region(c, 0, lo), bytes, region(c, 0, lo),
+                                   bytes, p.line_bytes,
+                                   c.merge_instr_per_ref * 2));
+  int side = 0;
+  uint32_t passes = 0;
+  for (uint64_t run = kLeafBaseRun; run < n; run *= 2) ++passes;
+  for (uint32_t i = 0; i < passes; ++i) {
+    blocks.push_back(read_write_pass(region(c, side, lo), bytes,
+                                     region(c, 1 - side, lo), bytes,
+                                     p.line_bytes, c.merge_instr_per_ref));
+    side = 1 - side;
+  }
+  if (side == 1) {  // copy back so leaves uniformly produce into A
+    blocks.push_back(read_write_pass(region(c, 1, lo), bytes, region(c, 0, lo),
+                                     bytes, p.line_bytes,
+                                     c.merge_instr_per_ref / 2 + 1));
+  }
+  if (dep == kNoTask) {
+    return c.b->add_task(std::span<const TaskId>{},
+                         std::span<const RefBlock>(blocks.data(), blocks.size()));
+  }
+  const TaskId deps[] = {dep};
+  return c.b->add_task(std::span<const TaskId>(deps, 1),
+                       std::span<const RefBlock>(blocks.data(), blocks.size()));
+}
+
+/// Builds the nested binary group structure over chunk index range
+/// [lo, hi) and creates the chunk tasks at the leaves, in index order.
+void emit_chunks_grouped(Ctx& c, uint64_t merge_n, uint64_t out_lo,
+                         uint32_t k, uint32_t lo, uint32_t hi, int in_side,
+                         TaskId split_task, std::vector<TaskId>* chunk_tasks) {
+  const MergesortParams& p = *c.p;
+  if (hi - lo >= 2) {
+    const uint64_t covered = static_cast<uint64_t>(hi - lo) * merge_n / k;
+    c.b->begin_group(kFile, kMergeSite, static_cast<int64_t>(covered));
+    const uint32_t mid = lo + (hi - lo) / 2;
+    emit_chunks_grouped(c, merge_n, out_lo, k, lo, mid, in_side, split_task,
+                        chunk_tasks);
+    emit_chunks_grouped(c, merge_n, out_lo, k, mid, hi, in_side, split_task,
+                        chunk_tasks);
+    c.b->end_group();
+    return;
+  }
+  // Single chunk task: merges the j-th slices of the two sorted halves
+  // X = [out_lo, out_lo + n/2), Y = [out_lo + n/2, out_lo + n) into the
+  // j-th slice of the output.
+  const uint32_t j = lo;
+  const uint64_t half = merge_n / 2;
+  const uint64_t x_lo = out_lo + j * half / k;
+  const uint64_t x_hi = out_lo + (j + 1) * half / k;
+  const uint64_t y_lo = out_lo + half + j * half / k;
+  const uint64_t y_hi = out_lo + half + (j + 1) * half / k;
+  const uint64_t z_lo = out_lo + j * merge_n / k;
+  const uint64_t z_hi = out_lo + (j + 1) * merge_n / k;
+  const uint32_t eb = p.elem_bytes;
+  RefBlock blk = merge_pass(
+      region(c, in_side, x_lo), (x_hi - x_lo) * eb, region(c, in_side, y_lo),
+      (y_hi - y_lo) * eb, region(c, 1 - in_side, z_lo), (z_hi - z_lo) * eb,
+      p.line_bytes, c.merge_instr_per_ref);
+  const TaskId deps[] = {split_task};
+  const RefBlock blocks[] = {blk};
+  chunk_tasks->push_back(
+      c.b->add_task(std::span<const TaskId>(deps, 1),
+                    std::span<const RefBlock>(blocks, 1)));
+}
+
+SubSort emit_sort(Ctx& c, uint64_t lo, uint64_t n, TaskId dep) {
+  const MergesortParams& p = *c.p;
+  c.b->begin_group(kFile, kSortSite, static_cast<int64_t>(n));
+  if (n <= c.leaf_elems) {
+    const TaskId t = emit_leaf(c, lo, n, dep);
+    c.b->end_group();
+    return {t, 0};
+  }
+  // Divide task: the spawn point. Work stealing steals the second child
+  // from here, unfolding the subtree exactly like the real runtime.
+  const RefBlock div_blocks[] = {RefBlock::compute(kDivideInstr)};
+  TaskId divide;
+  if (dep == kNoTask) {
+    divide = c.b->add_task(std::span<const TaskId>{},
+                           std::span<const RefBlock>(div_blocks, 1));
+  } else {
+    const TaskId deps[] = {dep};
+    divide = c.b->add_task(std::span<const TaskId>(deps, 1),
+                           std::span<const RefBlock>(div_blocks, 1));
+  }
+  const uint64_t half = n / 2;
+  const SubSort left = emit_sort(c, lo, half, divide);
+  const SubSort right = emit_sort(c, lo + half, n - half, divide);
+  if (left.side != right.side) {
+    throw std::logic_error("mergesort: children ended in different buffers");
+  }
+  const int in_side = left.side;
+  const uint32_t k = chunks_for_merge(c, n);
+
+  if (k == 1) {
+    // Serial merge task (the coarse-grained original).
+    RefBlock blk = merge_pass(region(c, in_side, lo), half * p.elem_bytes,
+                              region(c, in_side, lo + half),
+                              (n - half) * p.elem_bytes,
+                              region(c, 1 - in_side, lo), n * p.elem_bytes,
+                              p.line_bytes, c.merge_instr_per_ref);
+    const TaskId deps[] = {left.done, right.done};
+    const RefBlock blocks[] = {blk};
+    const TaskId m = c.b->add_task(std::span<const TaskId>(deps, 2),
+                                   std::span<const RefBlock>(blocks, 1));
+    c.b->end_group();
+    return {m, 1 - in_side};
+  }
+
+  // Parallel merge: split (k binary searches) -> k chunk merges -> join.
+  c.b->begin_group(kFile, kMergeSite, static_cast<int64_t>(n));
+  const uint32_t searches =
+      k * static_cast<uint32_t>(std::bit_width(std::max<uint64_t>(half, 2)));
+  const RefBlock split_blocks[] = {
+      RefBlock::random_ref(region(c, in_side, lo), half * p.elem_bytes,
+                           searches / 2 + 1, /*seed=*/lo * 31 + n, false,
+                           kSearchInstrPerRef),
+      RefBlock::random_ref(region(c, in_side, lo + half),
+                           (n - half) * p.elem_bytes, searches / 2 + 1,
+                           /*seed=*/lo * 37 + n, false, kSearchInstrPerRef),
+  };
+  const TaskId split_deps[] = {left.done, right.done};
+  const TaskId split = c.b->add_task(std::span<const TaskId>(split_deps, 2),
+                                     std::span<const RefBlock>(split_blocks, 2));
+  std::vector<TaskId> chunk_tasks;
+  chunk_tasks.reserve(k);
+  emit_chunks_grouped(c, n, lo, k, 0, k, in_side, split, &chunk_tasks);
+  const RefBlock join_blocks[] = {RefBlock::compute(kJoinInstr)};
+  const TaskId join = c.b->add_task(
+      std::span<const TaskId>(chunk_tasks.data(), chunk_tasks.size()),
+      std::span<const RefBlock>(join_blocks, 1));
+  c.b->end_group();
+  c.b->end_group();
+  return {join, 1 - in_side};
+}
+
+}  // namespace
+
+std::string MergesortParams::describe() const {
+  std::ostringstream os;
+  os << "n=" << num_elems << " elems x" << elem_bytes << "B, task_ws="
+     << task_ws_bytes / 1024 << "KB, l2=" << l2_bytes / 1024
+     << "KB, k-rule=" << merge_tasks_per_level
+     << (parallel_merge ? "" : ", serial-merge");
+  return os.str();
+}
+
+Workload build_mergesort(const MergesortParams& p) {
+  if (!std::has_single_bit(p.num_elems)) {
+    throw std::invalid_argument("mergesort: num_elems must be a power of two");
+  }
+  if (p.task_ws_bytes < 2ull * kLeafBaseRun * p.elem_bytes) {
+    throw std::invalid_argument("mergesort: task_ws_bytes too small");
+  }
+  AddressAllocator alloc(p.line_bytes);
+  DagBuilder builder;
+  Ctx c;
+  c.p = &p;
+  c.b = &builder;
+  const uint64_t bytes = p.num_elems * p.elem_bytes;
+  c.base_a = alloc.alloc(bytes);
+  c.base_b = alloc.alloc(bytes);
+  c.leaf_elems = std::bit_floor(
+      std::max<uint64_t>(p.task_ws_bytes / (2 * p.elem_bytes), kLeafBaseRun));
+  c.leaf_elems = std::min<uint64_t>(c.leaf_elems, p.num_elems);
+  c.epl = p.line_bytes / p.elem_bytes;
+  // instr_per_elem instructions per merged element; each line of the merge
+  // costs ~2 references (one read stream line + one write line), i.e.
+  // instr_per_ref = instr_per_elem * elems_per_line / 2.
+  c.merge_instr_per_ref = std::max<uint32_t>(p.instr_per_elem * c.epl / 2, 1);
+
+  emit_sort(c, 0, p.num_elems, kNoTask);
+
+  Workload w;
+  w.name = "mergesort";
+  w.params = p.describe();
+  w.dag = builder.finish();
+  w.footprint_bytes = alloc.bytes_allocated();
+  return w;
+}
+
+}  // namespace cachesched

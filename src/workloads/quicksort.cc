@@ -1,0 +1,84 @@
+#include "workloads/quicksort.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace cachesched {
+namespace {
+
+constexpr const char* kFile = "workloads/quicksort.cc";
+constexpr int kSortSite = 1;
+
+struct Ctx {
+  const QuicksortParams* p;
+  DagBuilder* b;
+  uint64_t base;
+  uint32_t ipr;       // partition pass instructions per reference
+  uint32_t leaf_ipr;  // insertion-sort leaf
+};
+
+void qs(Ctx& c, uint64_t lo, uint64_t n, TaskId dep, uint64_t node_seed) {
+  const QuicksortParams& p = *c.p;
+  c.b->begin_group(kFile, kSortSite, static_cast<int64_t>(n));
+  const uint64_t addr = c.base + lo * p.elem_bytes;
+  const uint64_t bytes = n * p.elem_bytes;
+  if (n <= p.leaf_elems) {
+    const RefBlock blocks[] = {read_write_pass(addr, bytes, addr, bytes,
+                                               p.line_bytes, c.leaf_ipr)};
+    const TaskId deps[] = {dep};
+    c.b->add_task(std::span<const TaskId>(deps, dep == kNoTask ? 0 : 1),
+                  std::span<const RefBlock>(blocks, 1));
+    c.b->end_group();
+    return;
+  }
+  // Partition pass: read and rewrite the region in place.
+  const RefBlock blocks[] = {
+      read_write_pass(addr, bytes, addr, bytes, p.line_bytes, c.ipr)};
+  const TaskId deps[] = {dep};
+  const TaskId part =
+      c.b->add_task(std::span<const TaskId>(deps, dep == kNoTask ? 0 : 1),
+                    std::span<const RefBlock>(blocks, 1));
+  // Data-dependent split point, deterministic per node.
+  SplitMix64 rng(node_seed);
+  const double f =
+      p.min_split + (p.max_split - p.min_split) *
+                        (static_cast<double>(rng.next() >> 11) * 0x1.0p-53);
+  uint64_t nl = std::clamp<uint64_t>(static_cast<uint64_t>(n * f), 1, n - 1);
+  qs(c, lo, nl, part, rng.next());
+  qs(c, lo + nl, n - nl, part, rng.next());
+  c.b->end_group();
+}
+
+}  // namespace
+
+std::string QuicksortParams::describe() const {
+  std::ostringstream os;
+  os << "n=" << num_elems << " elems x" << elem_bytes << "B, leaf="
+     << leaf_elems;
+  return os.str();
+}
+
+Workload build_quicksort(const QuicksortParams& p) {
+  Ctx c;
+  c.p = &p;
+  AddressAllocator alloc(p.line_bytes);
+  c.base = alloc.alloc(p.num_elems * p.elem_bytes);
+  const uint32_t epl = p.line_bytes / p.elem_bytes;
+  c.ipr = std::max<uint32_t>(p.instr_per_elem * epl / 2, 1);
+  c.leaf_ipr = c.ipr * 2;  // insertion sort costs more per element
+
+  DagBuilder b;
+  c.b = &b;
+  qs(c, 0, p.num_elems, kNoTask, p.seed);
+
+  Workload w;
+  w.name = "quicksort";
+  w.params = p.describe();
+  w.dag = b.finish();
+  w.footprint_bytes = alloc.bytes_allocated();
+  return w;
+}
+
+}  // namespace cachesched

@@ -1,0 +1,29 @@
+// Quicksort workload (paper §5.5 extended benchmark): recursive
+// divide-and-conquer like Mergesort, but with *imbalanced* divide steps —
+// the pivot splits a sub-problem at a data-dependent point (we draw the
+// split fraction deterministically per node from a seeded RNG). The paper
+// notes PDF handles such irregular, dynamically spawned tasks well.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/common.h"
+
+namespace cachesched {
+
+struct QuicksortParams {
+  uint64_t num_elems = 1u << 22;
+  uint32_t elem_bytes = 4;
+  uint64_t leaf_elems = 16 * 1024;
+  uint32_t line_bytes = 128;
+  uint32_t instr_per_elem = 6;
+  uint64_t seed = 7;
+  double min_split = 0.3;  // pivot split fraction range
+  double max_split = 0.7;
+
+  std::string describe() const;
+};
+
+Workload build_quicksort(const QuicksortParams& p);
+
+}  // namespace cachesched

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/dag_io.h"
+#include "workloads/mergesort.h"
+#include "workloads/quicksort.h"
+
+namespace cachesched {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<std::pair<uint64_t, bool>> ref_stream(const TaskDag& dag) {
+  std::vector<std::pair<uint64_t, bool>> refs;
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    TraceCursor c = dag.cursor(t);
+    for (TraceOp op = c.next(); op.kind != TraceOp::kDone; op = c.next()) {
+      if (op.kind == TraceOp::kMem) refs.emplace_back(op.addr, op.is_write);
+    }
+  }
+  return refs;
+}
+
+TEST(DagIo, RoundTripMergesort) {
+  MergesortParams p;
+  p.num_elems = 1 << 12;
+  p.l2_bytes = 32 * 1024;
+  p.task_ws_bytes = 2 * 1024;
+  const Workload w = build_mergesort(p);
+  const std::string path = temp_path("cachesched_roundtrip.dag");
+  save_dag(w.dag, path);
+  const TaskDag loaded = load_dag(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.validate(), "");
+  EXPECT_EQ(loaded.num_tasks(), w.dag.num_tasks());
+  EXPECT_EQ(loaded.num_groups(), w.dag.num_groups());
+  EXPECT_EQ(loaded.total_work(), w.dag.total_work());
+  EXPECT_EQ(loaded.total_refs(), w.dag.total_refs());
+  EXPECT_EQ(loaded.roots(), w.dag.roots());
+  EXPECT_EQ(ref_stream(loaded), ref_stream(w.dag));
+  // Edge structure preserved.
+  for (TaskId t = 0; t < w.dag.num_tasks(); ++t) {
+    ASSERT_EQ(std::vector<TaskId>(loaded.children(t).begin(),
+                                  loaded.children(t).end()),
+              std::vector<TaskId>(w.dag.children(t).begin(),
+                                  w.dag.children(t).end()));
+  }
+  // Group annotations preserved (including interned file names).
+  for (GroupId g = 0; g < w.dag.num_groups(); ++g) {
+    EXPECT_EQ(std::string(loaded.group(g).file),
+              std::string(w.dag.group(g).file));
+    EXPECT_EQ(loaded.group(g).line, w.dag.group(g).line);
+    EXPECT_EQ(loaded.group(g).param, w.dag.group(g).param);
+    EXPECT_EQ(loaded.group(g).children, w.dag.group(g).children);
+  }
+}
+
+TEST(DagIo, RoundTripQuicksortRandomBlocks) {
+  QuicksortParams p;
+  p.num_elems = 1 << 12;
+  p.leaf_elems = 256;
+  const Workload w = build_quicksort(p);
+  const std::string path = temp_path("cachesched_roundtrip_qs.dag");
+  save_dag(w.dag, path);
+  const TaskDag loaded = load_dag(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(ref_stream(loaded), ref_stream(w.dag));
+}
+
+TEST(DagIo, MissingFileThrows) {
+  EXPECT_THROW(load_dag("/nonexistent/path/x.dag"), std::runtime_error);
+}
+
+TEST(DagIo, BadMagicThrows) {
+  const std::string path = temp_path("cachesched_bad.dag");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "this is not a dag file at all";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_dag(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(DagIo, TruncatedFileThrows) {
+  MergesortParams p;
+  p.num_elems = 1 << 10;
+  p.l2_bytes = 32 * 1024;
+  p.task_ws_bytes = 2 * 1024;
+  const Workload w = build_mergesort(p);
+  const std::string path = temp_path("cachesched_trunc.dag");
+  save_dag(w.dag, path);
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(load_dag(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cachesched

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "simarch/energy.h"
+
+namespace cachesched {
+namespace {
+
+SimResult make_result(uint64_t l1h, uint64_t l2h, uint64_t l2m, uint64_t wb,
+                      uint64_t instr, uint64_t cycles) {
+  SimResult r;
+  r.l1_hits = l1h;
+  r.l2_hits = l2h;
+  r.l2_misses = l2m;
+  r.writebacks = wb;
+  r.instructions = instr;
+  r.cycles = cycles;
+  return r;
+}
+
+TEST(Energy, MissesDominatePerThePaper) {
+  // §2.1: one off-chip miss costs as much as 35 L2 hits.
+  const CmpConfig cfg = default_config(8);
+  EnergyParams p;
+  const auto one_miss = memory_system_energy(
+      make_result(0, 0, 1, 0, 0, 0), cfg, p, cfg.l2_bytes);
+  const auto many_hits = memory_system_energy(
+      make_result(0, 34, 0, 0, 0, 0), cfg, p, cfg.l2_bytes);
+  EXPECT_GT(one_miss.dynamic_mem, many_hits.dynamic_mem);
+  EXPECT_DOUBLE_EQ(one_miss.dynamic_mem, 35.0);
+}
+
+TEST(Energy, FewerMissesMeansLessDynamicEnergy) {
+  const CmpConfig cfg = default_config(8);
+  const auto pdf = memory_system_energy(
+      make_result(1000, 500, 100, 50, 100000, 1000000), cfg);
+  const auto ws = memory_system_energy(
+      make_result(1000, 450, 150, 80, 100000, 1000000), cfg);
+  EXPECT_LT(pdf.dynamic_mem, ws.dynamic_mem);
+}
+
+TEST(Energy, LeakageScalesWithPoweredCapacityAndTime) {
+  const CmpConfig cfg = default_config(8);  // 8 MB L2
+  const auto full = memory_system_energy(
+      make_result(0, 0, 0, 0, 0, 1000000), cfg, {}, cfg.l2_bytes);
+  const auto gated = memory_system_energy(
+      make_result(0, 0, 0, 0, 0, 1000000), cfg, {}, cfg.l2_bytes / 8);
+  EXPECT_NEAR(full.leakage / gated.leakage, 8.0, 1e-9);
+  const auto longer = memory_system_energy(
+      make_result(0, 0, 0, 0, 0, 2000000), cfg, {}, cfg.l2_bytes);
+  EXPECT_NEAR(longer.leakage / full.leakage, 2.0, 1e-9);
+}
+
+TEST(Energy, PoweredSegmentsRounding) {
+  const CmpConfig cfg = default_config(8);  // 8 MB L2
+  constexpr uint64_t kMB = 1 << 20;
+  // The paper's example: working set < 1 MB -> 1 of 8 segments on.
+  EXPECT_EQ(powered_segments_bytes(900 * 1024, cfg), kMB);
+  EXPECT_EQ(powered_segments_bytes(kMB + 1, cfg), 2 * kMB);
+  // Never more than the cache, never less than one segment.
+  EXPECT_EQ(powered_segments_bytes(100 * kMB, cfg), cfg.l2_bytes);
+  EXPECT_EQ(powered_segments_bytes(0, cfg), kMB);
+}
+
+TEST(Energy, TotalIsSumOfParts) {
+  const CmpConfig cfg = default_config(8);
+  const auto e = memory_system_energy(
+      make_result(10, 20, 30, 5, 1000, 5000), cfg);
+  EXPECT_DOUBLE_EQ(e.total(), e.dynamic_mem + e.core + e.leakage);
+  EXPECT_GT(e.core, 0.0);
+}
+
+}  // namespace
+}  // namespace cachesched

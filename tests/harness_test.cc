@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "harness/apps.h"
+#include "workloads/cholesky.h"
+
+namespace cachesched {
+namespace {
+
+TEST(Harness, KnownAppsAllBuild) {
+  const CmpConfig cfg = default_config(8).scaled(0.03125);
+  AppOptions opt;
+  opt.scale = 0.03125;
+  for (const std::string& app : known_apps()) {
+    SCOPED_TRACE(app);
+    const Workload w = make_app(app, cfg, opt);
+    EXPECT_EQ(w.dag.validate(), "");
+    EXPECT_GT(w.dag.num_tasks(), 1u);
+    EXPECT_EQ(w.name, app);
+  }
+}
+
+TEST(Harness, UnknownAppThrows) {
+  const CmpConfig cfg = default_config(8);
+  EXPECT_THROW(make_app("nope", cfg, {}), std::invalid_argument);
+}
+
+TEST(Harness, SchedulerFactory) {
+  EXPECT_STREQ(make_scheduler("pdf")->name(), "pdf");
+  EXPECT_STREQ(make_scheduler("ws")->name(), "ws");
+  EXPECT_STREQ(make_scheduler("fifo")->name(), "fifo");
+  EXPECT_THROW(make_scheduler("rr"), std::invalid_argument);
+}
+
+TEST(Harness, ScaleBoundsChecked) {
+  const CmpConfig cfg = default_config(8);
+  AppOptions opt;
+  opt.scale = 0;
+  EXPECT_THROW(make_app("mergesort", cfg, opt), std::invalid_argument);
+  opt.scale = 1.5;
+  EXPECT_THROW(make_app("mergesort", cfg, opt), std::invalid_argument);
+}
+
+TEST(Harness, MergesortAutoTaskWsTracksConfig) {
+  AppOptions opt;
+  opt.scale = 0.03125;
+  const CmpConfig big = default_config(16).scaled(0.03125);
+  const CmpConfig small = default_config(4).scaled(0.03125);
+  const Workload wb = make_app("mergesort", big, opt);
+  const Workload ws = make_app("mergesort", small, opt);
+  // Different L2/core ratios give different default task grains, visible
+  // as different task counts.
+  EXPECT_NE(wb.dag.num_tasks(), ws.dag.num_tasks());
+}
+
+TEST(Harness, PaperScaleSizesAtFullScale) {
+  const CmpConfig cfg = default_config(32);  // unscaled
+  AppOptions opt;
+  opt.scale = 1.0;
+  const Workload w = make_app("mergesort", cfg, opt);
+  // 32M elements, two arrays: 256 MB footprint.
+  EXPECT_EQ(w.footprint_bytes, 2ull * 32 * 1024 * 1024 * 4);
+}
+
+TEST(Harness, SequentialBaselineUsesOneCore) {
+  const CmpConfig cfg = default_config(8).scaled(0.03125);
+  AppOptions opt;
+  opt.scale = 0.03125;
+  const Workload w = make_app("lu", cfg, opt);
+  const SimResult seq = simulate_sequential(w, cfg);
+  EXPECT_EQ(seq.cores, 1);
+  ASSERT_EQ(seq.core_busy_cycles.size(), 1u);
+}
+
+TEST(Cholesky, BuildsValidSmallWsWorkload) {
+  CholeskyParams p;
+  p.n = 256;
+  const Workload w = build_cholesky(p);
+  EXPECT_EQ(w.dag.validate(), "");
+  EXPECT_EQ(w.footprint_bytes, 256ull * 256 * 8);
+  // ~n^3/3 flops within overhead factors.
+  const double flops = 256.0 * 256 * 256 / 3;
+  EXPECT_GT(static_cast<double>(w.dag.total_work()), 0.5 * flops);
+  EXPECT_LT(static_cast<double>(w.dag.total_work()), 4.0 * flops);
+}
+
+TEST(Cholesky, RejectsBadGeometry) {
+  CholeskyParams p;
+  p.n = 96;  // nb = 3
+  EXPECT_THROW(build_cholesky(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cachesched

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <list>
+#include <vector>
+
+#include "profile/lru_stack.h"
+#include "util/rng.h"
+
+namespace cachesched {
+namespace {
+
+// Naive O(n) oracle: an explicit LRU stack (most recent at front).
+class NaiveStack {
+ public:
+  StackRef access(uint64_t line, TaskId task) {
+    StackRef out;
+    uint64_t d = 0;
+    for (auto it = stack_.begin(); it != stack_.end(); ++it, ++d) {
+      if (it->line == line) {
+        out.distance = d;
+        out.prev_task = it->task;
+        stack_.erase(it);
+        stack_.push_front({line, task});
+        return out;
+      }
+    }
+    out.distance = StackRef::kColdDistance;
+    out.prev_task = kNoTask;
+    stack_.push_front({line, task});
+    return out;
+  }
+
+ private:
+  struct Node { uint64_t line; TaskId task; };
+  std::list<Node> stack_;
+};
+
+TEST(LruStack, ColdThenReuse) {
+  LruStackModel m;
+  EXPECT_TRUE(m.access(1, 0).cold());
+  EXPECT_TRUE(m.access(2, 0).cold());
+  // Re-access 1: one distinct line (2) in between.
+  const StackRef r = m.access(1, 1);
+  EXPECT_EQ(r.distance, 1u);
+  EXPECT_EQ(r.prev_task, 0u);
+  // Immediately again: distance 0, previous task updated.
+  const StackRef r2 = m.access(1, 2);
+  EXPECT_EQ(r2.distance, 0u);
+  EXPECT_EQ(r2.prev_task, 1u);
+}
+
+TEST(LruStack, RepeatedAccessesDontInflateDistance) {
+  LruStackModel m;
+  m.access(1, 0);
+  for (int i = 0; i < 10; ++i) m.access(2, 0);  // one distinct line
+  EXPECT_EQ(m.access(1, 0).distance, 1u);
+}
+
+TEST(LruStack, DistinctLineCount) {
+  LruStackModel m;
+  for (uint64_t l = 0; l < 100; ++l) m.access(l % 25, 0);
+  EXPECT_EQ(m.distinct_lines(), 25u);
+  EXPECT_EQ(m.accesses(), 100u);
+}
+
+TEST(LruStack, MatchesNaiveOracleRandom) {
+  LruStackModel m(/*initial_capacity=*/64);  // force many compactions
+  NaiveStack naive;
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t line = rng.next_below(300);
+    const TaskId task = static_cast<TaskId>(i / 100);
+    const StackRef a = m.access(line, task);
+    const StackRef b = naive.access(line, task);
+    ASSERT_EQ(a.distance, b.distance) << "iteration " << i;
+    ASSERT_EQ(a.prev_task, b.prev_task) << "iteration " << i;
+  }
+}
+
+TEST(LruStack, MatchesNaiveOracleSkewed) {
+  // Zipf-ish skew: hot lines keep tiny distances, cold tail forces
+  // compaction churn.
+  LruStackModel m(64);
+  NaiveStack naive;
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t line;
+    if (rng.next_below(100) < 70) {
+      line = rng.next_below(8);       // hot set
+    } else {
+      line = 100 + rng.next_below(2000);  // cold tail
+    }
+    const StackRef a = m.access(line, static_cast<TaskId>(i));
+    const StackRef b = naive.access(line, static_cast<TaskId>(i));
+    ASSERT_EQ(a.distance, b.distance) << i;
+    ASSERT_EQ(a.prev_task, b.prev_task) << i;
+  }
+}
+
+TEST(LruStack, SequentialScanDistances) {
+  // A scan of N lines then a re-scan: every re-access has distance N-1.
+  LruStackModel m;
+  constexpr uint64_t kN = 500;
+  for (uint64_t l = 0; l < kN; ++l) m.access(l, 0);
+  for (uint64_t l = 0; l < kN; ++l) {
+    EXPECT_EQ(m.access(l, 1).distance, kN - 1);
+  }
+}
+
+}  // namespace
+}  // namespace cachesched

@@ -1,0 +1,101 @@
+// Parameterized scheduler properties over (workload × core count):
+// invariants that must hold for *every* greedy scheduler on *every*
+// benchmark — the safety net under all the figure-level results.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/apps.h"
+#include "simarch/engine.h"
+
+namespace cachesched {
+namespace {
+
+using Param = std::tuple<std::string /*app*/, int /*cores*/>;
+
+class SchedulerProperties : public ::testing::TestWithParam<Param> {
+ protected:
+  static constexpr double kScale = 0.015625;  // 1/64: fast sweep
+
+  Workload workload() const {
+    const auto& [app, cores] = GetParam();
+    AppOptions opt;
+    opt.scale = kScale;
+    return make_app(app, config(), opt);
+  }
+  CmpConfig config() const {
+    const auto& [app, cores] = GetParam();
+    (void)app;
+    return default_config(cores).scaled(kScale);
+  }
+};
+
+TEST_P(SchedulerProperties, AllSchedulersExecuteEveryTaskOnce) {
+  const Workload w = workload();
+  for (const char* sched : {"pdf", "ws", "fifo"}) {
+    const SimResult r = simulate_app(w, config(), sched);
+    EXPECT_EQ(r.tasks_executed, w.dag.num_tasks()) << sched;
+  }
+}
+
+TEST_P(SchedulerProperties, InstructionAndRefCountsSchedulerInvariant) {
+  // Scheduling changes *timing* and *hit rates*, never the work done.
+  const Workload w = workload();
+  const SimResult pdf = simulate_app(w, config(), "pdf");
+  const SimResult ws = simulate_app(w, config(), "ws");
+  EXPECT_EQ(pdf.instructions, ws.instructions);
+  EXPECT_EQ(pdf.total_refs(), ws.total_refs());
+  EXPECT_EQ(pdf.instructions, w.dag.total_work());
+  EXPECT_EQ(pdf.total_refs(), w.dag.total_refs());
+}
+
+TEST_P(SchedulerProperties, RunsAreDeterministic) {
+  const Workload w = workload();
+  const SimResult a = simulate_app(w, config(), "ws");
+  const SimResult b = simulate_app(w, config(), "ws");
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.l2_misses, b.l2_misses);
+  EXPECT_EQ(a.steals, b.steals);
+}
+
+TEST_P(SchedulerProperties, ParallelTimeBoundedByWorkAndSpan) {
+  // Greedy bound sanity: span <= T_P and T_P <= T_1 (with dispatch and
+  // memory contention slack on both sides).
+  const Workload w = workload();
+  const SimResult seq = simulate_sequential(w, config());
+  const SimResult par = simulate_app(w, config(), "pdf");
+  EXPECT_LE(par.cycles, seq.cycles + seq.cycles / 20);
+  EXPECT_GE(static_cast<double>(par.cycles),
+            0.9 * static_cast<double>(w.dag.weighted_depth()));
+}
+
+TEST_P(SchedulerProperties, MissesBoundedByRefsAndColdFloor) {
+  const Workload w = workload();
+  for (const char* sched : {"pdf", "ws"}) {
+    const SimResult r = simulate_app(w, config(), sched);
+    EXPECT_LE(r.l2_misses, r.total_refs()) << sched;
+    // At least the distinct footprint must miss once.
+    EXPECT_GE(r.l2_misses, w.footprint_bytes / config().line_bytes / 2)
+        << sched;
+  }
+}
+
+TEST_P(SchedulerProperties, CoreUtilizationSane) {
+  const Workload w = workload();
+  const SimResult r = simulate_app(w, config(), "pdf");
+  EXPECT_GT(r.core_utilization(), 0.0);
+  EXPECT_LE(r.core_utilization(), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchedulerProperties,
+    ::testing::Combine(::testing::Values("mergesort", "hashjoin", "lu",
+                                         "quicksort", "heat"),
+                       ::testing::Values(2, 8, 32)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" +
+             std::to_string(std::get<1>(info.param)) + "c";
+    });
+
+}  // namespace
+}  // namespace cachesched

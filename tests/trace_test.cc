@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/trace.h"
+
+namespace cachesched {
+namespace {
+
+std::vector<TraceOp> expand(std::vector<RefBlock> blocks) {
+  TraceCursor c(blocks.data(), static_cast<uint32_t>(blocks.size()));
+  std::vector<TraceOp> ops;
+  for (TraceOp op = c.next(); op.kind != TraceOp::kDone; op = c.next()) {
+    ops.push_back(op);
+  }
+  EXPECT_TRUE(c.done());
+  return ops;
+}
+
+TEST(Trace, ComputeBlock) {
+  auto ops = expand({RefBlock::compute(1000)});
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].kind, TraceOp::kCompute);
+  EXPECT_EQ(ops[0].instr, 1000u);
+}
+
+TEST(Trace, ZeroInstrComputeSkipped) {
+  auto ops = expand({RefBlock::compute(0), RefBlock::compute(5)});
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].instr, 5u);
+}
+
+TEST(Trace, StrideAddresses) {
+  auto ops = expand({RefBlock::stride_ref(0x1000, 4, 128, true, 10)});
+  ASSERT_EQ(ops.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(ops[i].kind, TraceOp::kMem);
+    EXPECT_EQ(ops[i].addr, 0x1000u + 128u * i);
+    EXPECT_TRUE(ops[i].is_write);
+    EXPECT_EQ(ops[i].instr, 10u);
+  }
+}
+
+TEST(Trace, NegativeStride) {
+  auto ops = expand({RefBlock::stride_ref(0x1000, 3, -128, false, 1)});
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[1].addr, 0x1000u - 128u);
+  EXPECT_EQ(ops[2].addr, 0x1000u - 256u);
+}
+
+TEST(Trace, RandomWithinRegionAndDeterministic) {
+  const auto b = RefBlock::random_ref(0x8000, 4096, 200, 99, false, 3);
+  auto ops1 = expand({b});
+  auto ops2 = expand({b});
+  ASSERT_EQ(ops1.size(), 200u);
+  for (size_t i = 0; i < ops1.size(); ++i) {
+    EXPECT_GE(ops1[i].addr, 0x8000u);
+    EXPECT_LT(ops1[i].addr, 0x8000u + 4096u);
+    EXPECT_EQ(ops1[i].addr, ops2[i].addr) << "replay must be deterministic";
+  }
+}
+
+TEST(Trace, RandomSeedChangesAddresses) {
+  auto a = expand({RefBlock::random_ref(0, 1 << 20, 100, 1, false, 1)});
+  auto b = expand({RefBlock::random_ref(0, 1 << 20, 100, 2, false, 1)});
+  int same = 0;
+  for (size_t i = 0; i < a.size(); ++i) same += a[i].addr == b[i].addr;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Trace, InterleaveEmitsAllLinesOfEachStream) {
+  StreamRef s[3] = {{0, 8, false}, {0x10000, 8, false}, {0x20000, 16, true}};
+  auto ops = expand({RefBlock::interleave(s, 3, 128, 7)});
+  ASSERT_EQ(ops.size(), 32u);
+  std::map<uint64_t, std::set<uint64_t>> seen;  // stream base -> offsets
+  for (const auto& op : ops) {
+    const uint64_t base = op.addr & ~0xFFFFull;
+    seen[base].insert(op.addr - base);
+    EXPECT_EQ(op.is_write, base == 0x20000u);
+  }
+  EXPECT_EQ(seen[0].size(), 8u);
+  EXPECT_EQ(seen[0x10000].size(), 8u);
+  EXPECT_EQ(seen[0x20000].size(), 16u);
+}
+
+TEST(Trace, InterleaveIsProportional) {
+  // With streams of 10 and 30 lines, after any prefix of length L the
+  // second stream should have emitted about 3x the first.
+  StreamRef s[2] = {{0, 10, false}, {1 << 20, 30, true}};
+  auto ops = expand({RefBlock::interleave(s, 2, 128, 1)});
+  ASSERT_EQ(ops.size(), 40u);
+  int c0 = 0, c1 = 0;
+  for (int i = 0; i < 20; ++i) {
+    (ops[i].addr < (1u << 20) ? c0 : c1)++;
+  }
+  EXPECT_NEAR(c0, 5, 2);
+  EXPECT_NEAR(c1, 15, 2);
+}
+
+TEST(Trace, InterleaveLineStepping) {
+  StreamRef s[1] = {{0x100, 4, false}};
+  auto ops = expand({RefBlock::interleave(s, 1, 64, 1)});
+  ASSERT_EQ(ops.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(ops[i].addr, 0x100u + 64u * i);
+}
+
+TEST(Trace, MultiBlockSequencing) {
+  auto ops = expand({RefBlock::stride_ref(0, 2, 128, false, 1),
+                     RefBlock::compute(10),
+                     RefBlock::stride_ref(0x5000, 1, 128, true, 2)});
+  ASSERT_EQ(ops.size(), 4u);
+  EXPECT_EQ(ops[0].kind, TraceOp::kMem);
+  EXPECT_EQ(ops[2].kind, TraceOp::kCompute);
+  EXPECT_EQ(ops[3].addr, 0x5000u);
+}
+
+TEST(Trace, TotalsAccounting) {
+  const auto b = RefBlock::stride_ref(0, 10, 128, false, 7);
+  EXPECT_EQ(b.total_refs(), 10u);
+  EXPECT_EQ(b.total_instr(), 70u);
+  const auto c = RefBlock::compute(123);
+  EXPECT_EQ(c.total_refs(), 0u);
+  EXPECT_EQ(c.total_instr(), 123u);
+  StreamRef s[2] = {{0, 3, false}, {0x1000, 5, true}};
+  const auto i = RefBlock::interleave(s, 2, 128, 2);
+  EXPECT_EQ(i.total_refs(), 8u);
+  EXPECT_EQ(i.total_instr(), 16u);
+}
+
+TEST(Trace, EmptyCursor) {
+  TraceCursor c;
+  EXPECT_TRUE(c.done());
+  EXPECT_EQ(c.next().kind, TraceOp::kDone);
+}
+
+TEST(Trace, InstrPerRefFloorOfOne) {
+  const auto b = RefBlock::stride_ref(0, 1, 128, false, 0);
+  EXPECT_EQ(b.instr_per_ref, 1u);
+}
+
+}  // namespace
+}  // namespace cachesched

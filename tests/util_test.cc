@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/fenwick.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace cachesched {
+namespace {
+
+TEST(Rng, SplitMixDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitMixSeedSensitivity) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, Mix64IsPure) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Rng, XoshiroBelowBoundIsUniformish) {
+  Xoshiro256 rng(7);
+  constexpr uint64_t kBound = 10;
+  std::vector<int> counts(kBound, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.next_below(kBound)];
+  for (uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], kN / kBound, kN / kBound * 0.15) << "value " << v;
+  }
+}
+
+TEST(Rng, XoshiroDoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Fenwick, MatchesNaivePrefixSums) {
+  constexpr size_t kN = 200;
+  Fenwick f(kN);
+  std::vector<int64_t> naive(kN, 0);
+  SplitMix64 rng(5);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const size_t i = rng.next() % kN;
+    const int64_t delta = static_cast<int64_t>(rng.next() % 11) - 5;
+    f.add(i, delta);
+    naive[i] += delta;
+    const size_t q = rng.next() % (kN + 1);
+    EXPECT_EQ(f.prefix_sum(q),
+              std::accumulate(naive.begin(), naive.begin() + q, int64_t{0}));
+  }
+}
+
+TEST(Fenwick, RangeSum) {
+  Fenwick f(10);
+  for (size_t i = 0; i < 10; ++i) f.add(i, static_cast<int64_t>(i));
+  EXPECT_EQ(f.range_sum(3, 7), 3 + 4 + 5 + 6);
+  EXPECT_EQ(f.range_sum(0, 10), 45);
+  EXPECT_EQ(f.range_sum(5, 5), 0);
+  EXPECT_EQ(f.total(), 45);
+}
+
+TEST(Fenwick, Reset) {
+  Fenwick f(4);
+  f.add(0, 10);
+  f.reset(8);
+  EXPECT_EQ(f.size(), 8u);
+  EXPECT_EQ(f.total(), 0);
+}
+
+CliArgs make_args(std::vector<std::string> argv) {
+  std::vector<char*> ptrs;
+  for (auto& s : argv) ptrs.push_back(s.data());
+  return CliArgs(static_cast<int>(ptrs.size()), ptrs.data());
+}
+
+TEST(Cli, KeyValueForms) {
+  auto args = make_args({"prog", "--a=1", "--b", "2", "--flag"});
+  EXPECT_EQ(args.get_int("a", 0), 1);
+  EXPECT_EQ(args.get_int("b", 0), 2);
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+}
+
+TEST(Cli, IntList) {
+  auto args = make_args({"prog", "--cores=1,2,4,8"});
+  EXPECT_EQ(args.get_int_list("cores", {}),
+            (std::vector<int64_t>{1, 2, 4, 8}));
+  auto def = make_args({"prog"});
+  EXPECT_EQ(def.get_int_list("cores", {16}), (std::vector<int64_t>{16}));
+}
+
+TEST(Cli, UnusedDetection) {
+  auto args = make_args({"prog", "--used=1", "--typo=2"});
+  EXPECT_EQ(args.get_int("used", 0), 1);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Cli, RejectsPositional) {
+  EXPECT_THROW(make_args({"prog", "oops"}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22.5"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "name,value\nalpha,1\nb,22.5\n");
+}
+
+TEST(Table, ArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(uint64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace cachesched

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workloads/hashjoin.h"
+#include "workloads/heat.h"
+#include "workloads/lu.h"
+#include "workloads/matmul.h"
+#include "workloads/mergesort.h"
+#include "workloads/quicksort.h"
+
+namespace cachesched {
+namespace {
+
+// Shared structural checks every workload must satisfy.
+void check_workload(const Workload& w) {
+  SCOPED_TRACE(w.name + ": " + w.params);
+  EXPECT_EQ(w.dag.validate(), "");
+  EXPECT_GT(w.dag.num_tasks(), 0u);
+  EXPECT_GT(w.dag.total_work(), 0u);
+  EXPECT_GT(w.dag.total_refs(), 0u);
+  EXPECT_GT(w.footprint_bytes, 0u);
+  // Parallelism must exist: depth strictly less than total work.
+  EXPECT_LT(w.dag.weighted_depth(), w.dag.total_work());
+}
+
+// Counts distinct lines touched by the whole DAG (footprint cross-check).
+uint64_t distinct_lines(const TaskDag& dag, uint32_t line_bytes) {
+  std::set<uint64_t> lines;
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    TraceCursor c = dag.cursor(t);
+    for (TraceOp op = c.next(); op.kind != TraceOp::kDone; op = c.next()) {
+      if (op.kind == TraceOp::kMem) lines.insert(op.addr / line_bytes);
+    }
+  }
+  return lines.size();
+}
+
+MergesortParams small_ms() {
+  MergesortParams p;
+  p.num_elems = 1 << 14;
+  p.l2_bytes = 64 * 1024;
+  p.task_ws_bytes = 8 * 1024;
+  return p;
+}
+
+TEST(Mergesort, StructureAndInvariants) {
+  const Workload w = build_mergesort(small_ms());
+  check_workload(w);
+  // Footprint = 2 arrays of N elements.
+  EXPECT_EQ(w.footprint_bytes, 2ull * (1 << 14) * 4);
+  // Every line of both arrays is touched at least once.
+  EXPECT_EQ(distinct_lines(w.dag, 128), w.footprint_bytes / 128);
+}
+
+TEST(Mergesort, RejectsNonPowerOfTwo) {
+  MergesortParams p = small_ms();
+  p.num_elems = 1000;
+  EXPECT_THROW(build_mergesort(p), std::invalid_argument);
+}
+
+TEST(Mergesort, FinerTasksMeanMoreTasks) {
+  MergesortParams coarse = small_ms();
+  coarse.task_ws_bytes = 32 * 1024;
+  MergesortParams fine = small_ms();
+  fine.task_ws_bytes = 2 * 1024;
+  EXPECT_GT(build_mergesort(fine).dag.num_tasks(),
+            build_mergesort(coarse).dag.num_tasks());
+}
+
+TEST(Mergesort, SerialMergeVariantHasFewerTasks) {
+  MergesortParams p = small_ms();
+  p.parallel_merge = false;
+  const Workload serial = build_mergesort(p);
+  check_workload(serial);
+  EXPECT_LT(serial.dag.num_tasks(), build_mergesort(small_ms()).dag.num_tasks());
+  // Serial merges make the DAG deeper relative to its work.
+  EXPECT_GT(static_cast<double>(serial.dag.weighted_depth()) /
+                static_cast<double>(serial.dag.total_work()),
+            static_cast<double>(build_mergesort(small_ms()).dag.weighted_depth()) /
+                static_cast<double>(build_mergesort(small_ms()).dag.total_work()));
+}
+
+TEST(Mergesort, GroupHierarchyCoversSortSites) {
+  const Workload w = build_mergesort(small_ms());
+  // Root group is the whole sort: param = N, covers all tasks.
+  const TaskGroup& root = w.dag.group(w.dag.root_group());
+  EXPECT_EQ(root.param, 1 << 14);
+  EXPECT_EQ(root.first_task, 0u);
+  EXPECT_EQ(root.last_task, w.dag.num_tasks() - 1);
+  // Sort groups halve the param down the hierarchy.
+  bool found_half = false;
+  for (GroupId g = 0; g < w.dag.num_groups(); ++g) {
+    if (w.dag.group(g).line == 1 && w.dag.group(g).param == (1 << 13)) {
+      found_half = true;
+    }
+  }
+  EXPECT_TRUE(found_half);
+}
+
+TEST(Mergesort, WorkScalesWithInstrPerElem) {
+  MergesortParams p = small_ms();
+  const uint64_t w1 = build_mergesort(p).dag.total_work();
+  p.instr_per_elem *= 2;
+  const uint64_t w2 = build_mergesort(p).dag.total_work();
+  EXPECT_GT(w2, w1 + w1 / 2);
+}
+
+TEST(HashJoin, StructureAndMatchRatio) {
+  HashJoinParams p;
+  p.build_bytes = 2 << 20;
+  p.l2_bytes = 1 << 20;
+  const Workload w = build_hashjoin(p);
+  check_workload(w);
+  // Build + probe + output + hash tables all contribute to footprint:
+  // at least build*(1 + 2 + 4) bytes.
+  EXPECT_GE(w.footprint_bytes, 7ull * p.build_bytes);
+}
+
+TEST(HashJoin, CoarseVariantHasOneTaskPerSubPartition) {
+  HashJoinParams p;
+  p.build_bytes = 2 << 20;
+  p.l2_bytes = 1 << 20;
+  p.fine_grained = false;
+  const Workload coarse = build_hashjoin(p);
+  // 1 root + S sub-partition tasks; the fine version has probes too.
+  p.fine_grained = true;
+  const Workload fine = build_hashjoin(p);
+  EXPECT_LT(coarse.dag.num_tasks(), fine.dag.num_tasks() / 4);
+  check_workload(coarse);
+}
+
+TEST(HashJoin, ProbesDependOnTheirBuild) {
+  HashJoinParams p;
+  p.build_bytes = 1 << 20;
+  p.l2_bytes = 1 << 20;
+  const Workload w = build_hashjoin(p);
+  // Every non-root task has >= 1 parent; probe tasks' parent is a build.
+  uint64_t probe_like = 0;
+  for (TaskId t = 1; t < w.dag.num_tasks(); ++t) {
+    EXPECT_GE(w.dag.task(t).num_parents, 1u);
+    probe_like += w.dag.task(t).num_parents == 1;
+  }
+  EXPECT_GT(probe_like, 0u);
+}
+
+TEST(Lu, StructureAndFootprint) {
+  LuParams p;
+  p.n = 256;
+  const Workload w = build_lu(p);
+  check_workload(w);
+  EXPECT_EQ(w.footprint_bytes, 256ull * 256 * 8);
+  EXPECT_EQ(distinct_lines(w.dag, 128), w.footprint_bytes / 128);
+  // Work ~ 2/3 n^3 within a factor (divide/join overhead).
+  const double flops = 2.0 / 3 * 256.0 * 256 * 256;
+  EXPECT_GT(static_cast<double>(w.dag.total_work()), 0.8 * flops);
+  EXPECT_LT(static_cast<double>(w.dag.total_work()), 2.5 * flops);
+}
+
+TEST(Lu, RejectsBadGeometry) {
+  LuParams p;
+  p.n = 100;  // not a multiple of block
+  EXPECT_THROW(build_lu(p), std::invalid_argument);
+  p.n = 96;  // nb = 3, not a power of two
+  EXPECT_THROW(build_lu(p), std::invalid_argument);
+}
+
+TEST(Matmul, StructureAndWork) {
+  MatmulParams p;
+  p.n = 256;
+  const Workload w = build_matmul(p);
+  check_workload(w);
+  EXPECT_EQ(w.footprint_bytes, 3ull * 256 * 256 * 8);
+  const double flops = 2.0 * 256.0 * 256 * 256;
+  EXPECT_GT(static_cast<double>(w.dag.total_work()), 0.6 * flops);
+  EXPECT_LT(static_cast<double>(w.dag.total_work()), 2.0 * flops);
+}
+
+TEST(Matmul, EveryCBlockWrittenTwice) {
+  // Two k-waves update each C block: C leaf gemm count = 2 * (n/b)^2 at
+  // the bottom recursion... total leaf gemms = (n/b)^3 with n/b = 4.
+  MatmulParams p;
+  p.n = 128;
+  const Workload w = build_matmul(p);
+  uint64_t gemms = 0;
+  for (TaskId t = 0; t < w.dag.num_tasks(); ++t) {
+    if (w.dag.blocks(t).size() == 1 &&
+        w.dag.blocks(t)[0].kind == RefKind::kInterleave) {
+      ++gemms;
+    }
+  }
+  EXPECT_EQ(gemms, 64u);  // (128/32)^3
+}
+
+TEST(Quicksort, IrregularSplitsStillCoverInput) {
+  QuicksortParams p;
+  p.num_elems = 1 << 14;
+  p.leaf_elems = 1 << 10;
+  const Workload w = build_quicksort(p);
+  check_workload(w);
+  EXPECT_EQ(distinct_lines(w.dag, 128), (uint64_t{1} << 14) * 4 / 128);
+}
+
+TEST(Quicksort, SeedChangesShape) {
+  QuicksortParams p;
+  p.num_elems = 1 << 14;
+  p.leaf_elems = 1 << 10;
+  p.seed = 1;
+  const auto d1 = build_quicksort(p).dag.num_tasks();
+  p.seed = 2;
+  const auto d2 = build_quicksort(p).dag.num_tasks();
+  // Different pivots give (almost surely) different task counts.
+  EXPECT_NE(d1, d2);
+}
+
+TEST(Heat, StencilDependences) {
+  HeatParams p;
+  p.rows = 256;
+  p.cols = 256;
+  p.block_rows = 64;
+  p.steps = 3;
+  const Workload w = build_heat(p);
+  check_workload(w);
+  const uint32_t nblocks = 4;
+  ASSERT_EQ(w.dag.num_tasks(), nblocks * 3u);
+  // Interior block at step 1 depends on three step-0 blocks.
+  EXPECT_EQ(w.dag.task(nblocks + 1).num_parents, 3u);
+  // Boundary blocks depend on two.
+  EXPECT_EQ(w.dag.task(nblocks).num_parents, 2u);
+  // Step-0 tasks are roots.
+  EXPECT_EQ(w.dag.roots().size(), nblocks);
+}
+
+TEST(Heat, RejectsBadBlocking) {
+  HeatParams p;
+  p.rows = 100;
+  p.block_rows = 64;
+  EXPECT_THROW(build_heat(p), std::invalid_argument);
+}
+
+// Parameterized sweep: all workloads stay structurally valid across sizes.
+class WorkloadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadSweep, MergesortSizes) {
+  MergesortParams p = small_ms();
+  p.num_elems = 1u << GetParam();
+  check_workload(build_mergesort(p));
+}
+
+TEST_P(WorkloadSweep, QuicksortSizes) {
+  QuicksortParams p;
+  p.num_elems = 1u << GetParam();
+  p.leaf_elems = 512;
+  check_workload(build_quicksort(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WorkloadSweep, ::testing::Values(12, 13, 15, 16));
+
+}  // namespace
+}  // namespace cachesched

@@ -1,0 +1,152 @@
+// cachesched — command-line driver for the library.
+//
+//   cachesched_cli run   --app=mergesort --cores=16 [--sched=pdf,ws]
+//                        [--scale=0.125] [--tech=default|45nm]
+//                        [--l2-hit=N] [--mem-latency=N] [--task-ws=BYTES]
+//   cachesched_cli trace --app=hashjoin --cores=8 --out=join.dag
+//                        [--scale=0.125]            # collect once...
+//   cachesched_cli replay --dag=join.dag --cores=8 [--sched=pdf]
+//                        [--scale=0.125]            # ...simulate many
+//   cachesched_cli configs                          # print Tables 2 and 3
+//
+// Exit code 0 on success; errors to stderr.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dag_io.h"
+#include "harness/apps.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace cachesched;
+
+namespace {
+
+CmpConfig config_from_args(const CliArgs& args) {
+  const int cores = static_cast<int>(args.get_int("cores", 8));
+  const std::string tech = args.get("tech", "default");
+  CmpConfig cfg = tech == "45nm" ? single_tech_45nm_config(cores)
+                                 : default_config(cores);
+  const double scale = args.get_double("scale", 0.125);
+  cfg = cfg.scaled(scale);
+  if (args.has("l2-hit")) {
+    cfg.l2_hit_cycles = static_cast<int>(args.get_int("l2-hit", cfg.l2_hit_cycles));
+  }
+  if (args.has("mem-latency")) {
+    cfg.mem_latency_cycles =
+        static_cast<int>(args.get_int("mem-latency", cfg.mem_latency_cycles));
+  }
+  if (args.has("banks")) {
+    cfg.l2_banks = static_cast<int>(args.get_int("banks", 0));
+  }
+  return cfg;
+}
+
+std::vector<std::string> sched_list(const CliArgs& args) {
+  std::vector<std::string> out;
+  std::stringstream ss(args.get("sched", "pdf,ws"));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void report(const TaskDag& dag, const CmpConfig& cfg,
+            const std::vector<std::string>& scheds) {
+  Table t({"sched", "cycles", "L2miss/1Kinstr", "l1_hits", "l2_hits",
+           "l2_misses", "bw_util%", "core_util%", "steals"});
+  for (const auto& sched : scheds) {
+    CmpSimulator sim(cfg);
+    auto s = make_scheduler(sched);
+    const SimResult r = sim.run(dag, *s);
+    t.add_row({r.scheduler, Table::num(r.cycles),
+               Table::num(r.l2_misses_per_kilo_instr(), 3),
+               Table::num(r.l1_hits), Table::num(r.l2_hits),
+               Table::num(r.l2_misses),
+               Table::num(100.0 * r.mem_bandwidth_utilization(), 1),
+               Table::num(100.0 * r.core_utilization(), 1),
+               Table::num(r.steals)});
+  }
+  std::cout << cfg.describe() << "\n";
+  t.emit();
+}
+
+int cmd_run(const CliArgs& args) {
+  const CmpConfig cfg = config_from_args(args);
+  AppOptions opt;
+  opt.scale = args.get_double("scale", 0.125);
+  opt.mergesort_task_ws = static_cast<uint64_t>(args.get_int("task-ws", 0));
+  opt.fine_grained = args.get_bool("fine-grained", true);
+  const Workload w = make_app(args.get("app", "mergesort"), cfg, opt);
+  std::cout << w.name << ": " << w.params << " (" << w.dag.num_tasks()
+            << " tasks, " << w.dag.total_refs() << " refs)\n";
+  report(w.dag, cfg, sched_list(args));
+  return 0;
+}
+
+int cmd_trace(const CliArgs& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::cerr << "trace: --out=FILE required\n";
+    return 2;
+  }
+  const CmpConfig cfg = config_from_args(args);
+  AppOptions opt;
+  opt.scale = args.get_double("scale", 0.125);
+  const Workload w = make_app(args.get("app", "mergesort"), cfg, opt);
+  save_dag(w.dag, out);
+  std::cout << "wrote " << w.dag.num_tasks() << " tasks / "
+            << w.dag.total_refs() << " refs to " << out << "\n";
+  return 0;
+}
+
+int cmd_replay(const CliArgs& args) {
+  const std::string path = args.get("dag", "");
+  if (path.empty()) {
+    std::cerr << "replay: --dag=FILE required\n";
+    return 2;
+  }
+  const TaskDag dag = load_dag(path);
+  std::cout << "loaded " << dag.num_tasks() << " tasks / " << dag.total_refs()
+            << " refs from " << path << "\n";
+  report(dag, config_from_args(args), sched_list(args));
+  return 0;
+}
+
+int cmd_configs() {
+  auto print = [](const char* title, const std::vector<CmpConfig>& v) {
+    std::cout << "\n" << title << "\n";
+    for (const auto& c : v) std::cout << "  " << c.describe() << "\n";
+  };
+  print("Table 2 (default, scaling technology):", default_configs());
+  print("Table 3 (45nm single technology):", single_tech_45nm_configs());
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: cachesched_cli {run|trace|replay|configs} [options]\n"
+               "see the header of tools/cachesched_cli.cc for options\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    CliArgs args(argc - 1, argv + 1);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "replay") return cmd_replay(args);
+    if (cmd == "configs") return cmd_configs();
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "cachesched_cli: " << e.what() << "\n";
+    return 1;
+  }
+}
