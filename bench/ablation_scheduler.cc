@@ -12,8 +12,14 @@
 //     exact causal interleaving (quantum = 0).
 //
 // Usage: ablation_scheduler [--scale=0.0625] [--cores=16] [--csv=prefix]
+//                           [--jobs=N]
+//
+// All three ablation axes are expanded into one job matrix and executed
+// concurrently by the sweep engine; the tables below are assembled from
+// the finished records by tag.
 #include <iostream>
 
+#include "exp/sweep.h"
 #include "harness/apps.h"
 #include "simarch/engine.h"
 #include "util/cli.h"
@@ -26,17 +32,49 @@ int main(int argc, char** argv) {
   const double scale = args.get_double("scale", 0.0625);
   const int cores = static_cast<int>(args.get_int("cores", 16));
   const std::string csv = args.get("csv", "");
+  const int workers = static_cast<int>(args.get_int("jobs", 0));
+  // Every flag has been queried; fail on typos before the long run.
+  if (const int rc = args.check_unused()) return rc;
   const CmpConfig cfg = default_config(cores).scaled(scale);
   AppOptions opt;
   opt.scale = scale;
 
+  const std::vector<uint32_t> dispatch_cycles = {0, 100, 400, 1000, 4000};
+  const std::vector<uint64_t> quanta = {0, 1000, 100000};
+
+  std::vector<SweepJob> matrix;
+  // Axis 1: scheduling policy.
+  for (const char* app : {"mergesort", "hashjoin"}) {
+    for (const char* sched : {"pdf", "ws", "fifo"}) {
+      matrix.push_back({.app = app, .sched = sched, .tag = "policy",
+                        .config = cfg, .opt = opt});
+    }
+  }
+  // Axis 2: task dispatch overhead.
+  for (uint32_t d : dispatch_cycles) {
+    CmpConfig c2 = cfg;
+    c2.task_dispatch_cycles = d;
+    for (const char* sched : {"pdf", "ws"}) {
+      matrix.push_back({.app = "mergesort", .sched = sched,
+                        .tag = "dispatch" + std::to_string(d), .config = c2,
+                        .opt = opt});
+    }
+  }
+  // Axis 3: causality quantum.
+  for (uint64_t q : quanta) {
+    matrix.push_back({.app = "mergesort", .sched = "pdf",
+                      .tag = "quantum" + std::to_string(q), .config = cfg,
+                      .opt = opt, .quantum_cycles = q});
+  }
+  const SweepResults res = run_sweep(std::move(matrix), {.workers = workers});
+
   {
     Table t({"app", "sched", "cycles", "mpki", "vs_pdf"});
     for (const char* app : {"mergesort", "hashjoin"}) {
-      const Workload w = make_app(app, cfg, opt);
-      const uint64_t pdf_cycles = simulate_app(w, cfg, "pdf").cycles;
+      const uint64_t pdf_cycles =
+          res.find(app, "pdf", cores, "policy")->result.cycles;
       for (const char* sched : {"pdf", "ws", "fifo"}) {
-        const SimResult r = simulate_app(w, cfg, sched);
+        const SimResult& r = res.find(app, sched, cores, "policy")->result;
         t.add_row({app, sched, Table::num(r.cycles),
                    Table::num(r.l2_misses_per_kilo_instr(), 3),
                    Table::num(static_cast<double>(r.cycles) /
@@ -50,12 +88,10 @@ int main(int argc, char** argv) {
 
   {
     Table t({"dispatch_cycles", "pdf_cycles", "ws_cycles", "pdf_vs_ws"});
-    const Workload w = make_app("mergesort", cfg, opt);
-    for (uint32_t d : {0u, 100u, 400u, 1000u, 4000u}) {
-      CmpConfig c2 = cfg;
-      c2.task_dispatch_cycles = d;
-      const SimResult pdf = simulate_app(w, c2, "pdf");
-      const SimResult ws = simulate_app(w, c2, "ws");
+    for (uint32_t d : dispatch_cycles) {
+      const std::string tag = "dispatch" + std::to_string(d);
+      const SimResult& pdf = res.find("mergesort", "pdf", cores, tag)->result;
+      const SimResult& ws = res.find("mergesort", "ws", cores, tag)->result;
       t.add_row({Table::num(static_cast<int64_t>(d)), Table::num(pdf.cycles),
                  Table::num(ws.cycles),
                  Table::num(static_cast<double>(ws.cycles) /
@@ -67,12 +103,10 @@ int main(int argc, char** argv) {
 
   {
     Table t({"quantum_cycles", "pdf_cycles", "pdf_l2_misses"});
-    const Workload w = make_app("mergesort", cfg, opt);
-    for (uint64_t q : {uint64_t{0}, uint64_t{1000}, uint64_t{100000}}) {
-      CmpSimulator sim(cfg);
-      sim.set_quantum_cycles(q);
-      auto s = make_scheduler("pdf");
-      const SimResult r = sim.run(w.dag, *s);
+    for (uint64_t q : quanta) {
+      const SimResult& r =
+          res.find("mergesort", "pdf", cores, "quantum" + std::to_string(q))
+              ->result;
       t.add_row({Table::num(q), Table::num(r.cycles), Table::num(r.l2_misses)});
     }
     std::cout << "\n=== Ablation 3: causality quantum (mergesort, pdf) ===\n";

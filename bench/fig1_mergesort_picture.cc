@@ -93,5 +93,5 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nExpected (paper): PDF's top log2(P) levels flip from"
                " misses to hits relative to WS.\n";
-  return 0;
+  return args.check_unused();
 }

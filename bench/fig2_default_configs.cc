@@ -5,12 +5,14 @@
 // Usage:
 //   fig2_default_configs [--app=lu|hashjoin|mergesort|all]
 //                        [--scale=0.125] [--cores=1,2,4,8,16,32]
-//                        [--csv=prefix]
+//                        [--csv=prefix] [--jobs=N]
 //
 // Like the paper, LU is reported only up to 16 cores (its input is smaller
-// than the 32-core L2).
+// than the 32-core L2). The (app x cores x {seq,pdf,ws}) matrix runs on
+// the sweep engine's worker pool (--jobs, default all cores).
 #include <iostream>
 
+#include "exp/sweep.h"
 #include "harness/apps.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -19,38 +21,37 @@ using namespace cachesched;
 
 namespace {
 
-void run_app(const std::string& app, const std::vector<int64_t>& cores,
-             double scale, const std::string& csv) {
+void emit_app(const SweepResults& res, const std::string& app,
+              const std::vector<int64_t>& cores, const std::string& csv) {
   Table t({"cores", "sched", "cycles", "speedup", "L2miss/1Kinstr",
            "pdf_miss_reduction%", "pdf_vs_ws_speedup", "bw_util%", "steals"});
   std::string params;
   for (int64_t c : cores) {
-    if (app == "lu" && c > 16) continue;  // paper: input < 32-core L2
-    const CmpConfig cfg = default_config(static_cast<int>(c)).scaled(scale);
-    AppOptions opt;
-    opt.scale = scale;
-    const Workload w = make_app(app, cfg, opt);
-    params = w.params;
-    const SimResult seq = simulate_sequential(w, cfg);
-    const SimResult pdf = simulate_app(w, cfg, "pdf");
-    const SimResult ws = simulate_app(w, cfg, "ws");
-    const double red = ws.l2_misses_per_kilo_instr() > 0
-                           ? 100.0 * (ws.l2_misses_per_kilo_instr() -
-                                      pdf.l2_misses_per_kilo_instr()) /
-                                 ws.l2_misses_per_kilo_instr()
+    const int cc = static_cast<int>(c);
+    const SweepRecord* seq = res.find(app, kSequentialSched, cc);
+    const SweepRecord* pdf = res.find(app, "pdf", cc);
+    const SweepRecord* ws = res.find(app, "ws", cc);
+    if (!seq || !pdf || !ws) continue;  // skipped combination (LU > 16)
+    params = pdf->params;
+    const double red = ws->result.l2_misses_per_kilo_instr() > 0
+                           ? 100.0 * (ws->result.l2_misses_per_kilo_instr() -
+                                      pdf->result.l2_misses_per_kilo_instr()) /
+                                 ws->result.l2_misses_per_kilo_instr()
                            : 0.0;
-    const double rel = pdf.cycles ? static_cast<double>(ws.cycles) /
-                                        static_cast<double>(pdf.cycles)
-                                  : 0.0;
-    for (const SimResult* r : {&pdf, &ws}) {
-      const bool is_pdf = r == &pdf;
-      t.add_row({Table::num(static_cast<int64_t>(c)), r->scheduler,
-                 Table::num(r->cycles), Table::num(r->speedup_over(seq), 2),
-                 Table::num(r->l2_misses_per_kilo_instr(), 3),
+    const double rel = pdf->result.cycles
+                           ? static_cast<double>(ws->result.cycles) /
+                                 static_cast<double>(pdf->result.cycles)
+                           : 0.0;
+    for (const SweepRecord* rec : {pdf, ws}) {
+      const SimResult& r = rec->result;
+      const bool is_pdf = rec == pdf;
+      t.add_row({Table::num(c), r.scheduler, Table::num(r.cycles),
+                 Table::num(r.speedup_over(seq->result), 2),
+                 Table::num(r.l2_misses_per_kilo_instr(), 3),
                  is_pdf ? Table::num(red, 1) : "-",
                  is_pdf ? Table::num(rel, 2) : "-",
-                 Table::num(100.0 * r->mem_bandwidth_utilization(), 1),
-                 Table::num(r->steals)});
+                 Table::num(100.0 * r.mem_bandwidth_utilization(), 1),
+                 Table::num(r.steals)});
     }
   }
   std::cout << "\n=== Figure 2: " << app << " (" << params << ") ===\n";
@@ -65,12 +66,24 @@ int main(int argc, char** argv) {
   const double scale = args.get_double("scale", 0.125);
   const auto cores = args.get_int_list("cores", {1, 2, 4, 8, 16, 32});
   const std::string csv = args.get("csv", "");
+  const int jobs = static_cast<int>(args.get_int("jobs", 0));
   const auto apps = app == "all"
                         ? std::vector<std::string>{"lu", "hashjoin", "mergesort"}
                         : std::vector<std::string>{app};
-  for (const auto& a : apps) run_app(a, cores, scale, csv);
-  for (const auto& u : args.unused()) {
-    std::cerr << "warning: unused argument --" << u << "\n";
-  }
+  // Every flag has been queried; fail on typos before the long run.
+  if (const int rc = args.check_unused()) return rc;
+
+  SweepSpec spec;
+  spec.apps = apps;
+  spec.scheds = {"pdf", "ws"};
+  spec.core_counts.assign(cores.begin(), cores.end());
+  spec.scales = {scale};
+  spec.sequential_baseline = true;
+  spec.skip = [](const std::string& a, const CmpConfig& cfg) {
+    return a == "lu" && cfg.cores > 16;  // paper: input < 32-core L2
+  };
+  const SweepResults res = run_sweep(spec, {.workers = jobs});
+
+  for (const auto& a : apps) emit_app(res, a, cores, csv);
   return 0;
 }

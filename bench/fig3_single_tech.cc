@@ -8,35 +8,35 @@
 // improving to 24-26 cores. PDF wins at every design point.
 //
 // Usage: fig3_single_tech [--apps=hashjoin,mergesort] [--scale=0.125]
-//                         [--csv=prefix]
+//                         [--csv=prefix] [--jobs=N]
+//
+// All (app x design-point x scheduler) simulations run concurrently on
+// the sweep engine (--jobs workers, default all host cores).
 #include <iostream>
-#include <sstream>
 
+#include "exp/sweep.h"
 #include "harness/apps.h"
 #include "util/cli.h"
 #include "util/table.h"
 
 using namespace cachesched;
 
-namespace {
-
-std::vector<std::string> split_list(const std::string& s) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const double scale = args.get_double("scale", 0.125);
-  const auto apps = split_list(args.get("apps", "hashjoin,mergesort"));
+  const auto apps = args.get_list("apps", "hashjoin,mergesort");
   const std::string csv = args.get("csv", "");
+  const int jobs = static_cast<int>(args.get_int("jobs", 0));
+  // Every flag has been queried; fail on typos before the long run.
+  if (const int rc = args.check_unused()) return rc;
+
+  SweepSpec spec;
+  spec.apps = apps;
+  spec.scheds = {"pdf", "ws"};
+  spec.tech = "45nm";
+  spec.core_counts.clear();  // all fourteen Table 3 design points
+  spec.scales = {scale};
+  const SweepResults res = run_sweep(spec, {.workers = jobs});
 
   for (const auto& app : apps) {
     Table t({"cores", "L2_KB", "pdf_cycles", "ws_cycles", "pdf_vs_ws",
@@ -45,28 +45,25 @@ int main(int argc, char** argv) {
     uint64_t best_pdf = UINT64_MAX, best_ws = UINT64_MAX;
     int best_pdf_cores = 0, best_ws_cores = 0;
     for (const CmpConfig& base : single_tech_45nm_configs()) {
-      const CmpConfig cfg = base.scaled(scale);
-      AppOptions opt;
-      opt.scale = scale;
-      const Workload w = make_app(app, cfg, opt);
-      params = w.params;
-      const SimResult pdf = simulate_app(w, cfg, "pdf");
-      const SimResult ws = simulate_app(w, cfg, "ws");
-      if (pdf.cycles < best_pdf) {
-        best_pdf = pdf.cycles;
-        best_pdf_cores = cfg.cores;
+      const SweepRecord* pdf = res.find(app, "pdf", base.cores);
+      const SweepRecord* ws = res.find(app, "ws", base.cores);
+      if (!pdf || !ws) continue;
+      params = pdf->params;
+      if (pdf->result.cycles < best_pdf) {
+        best_pdf = pdf->result.cycles;
+        best_pdf_cores = base.cores;
       }
-      if (ws.cycles < best_ws) {
-        best_ws = ws.cycles;
-        best_ws_cores = cfg.cores;
+      if (ws->result.cycles < best_ws) {
+        best_ws = ws->result.cycles;
+        best_ws_cores = base.cores;
       }
-      t.add_row({Table::num(static_cast<int64_t>(cfg.cores)),
-                 Table::num(cfg.l2_bytes / 1024), Table::num(pdf.cycles),
-                 Table::num(ws.cycles),
-                 Table::num(static_cast<double>(ws.cycles) /
-                                static_cast<double>(pdf.cycles), 3),
-                 Table::num(100.0 * pdf.mem_bandwidth_utilization(), 1),
-                 Table::num(100.0 * ws.mem_bandwidth_utilization(), 1)});
+      t.add_row({Table::num(static_cast<int64_t>(base.cores)),
+                 Table::num(pdf->job.config.l2_bytes / 1024),
+                 Table::num(pdf->result.cycles), Table::num(ws->result.cycles),
+                 Table::num(static_cast<double>(ws->result.cycles) /
+                                static_cast<double>(pdf->result.cycles), 3),
+                 Table::num(100.0 * pdf->result.mem_bandwidth_utilization(), 1),
+                 Table::num(100.0 * ws->result.mem_bandwidth_utilization(), 1)});
     }
     std::cout << "\n=== Figure 3: " << app << " on 45nm design points ("
               << params << ") ===\n";

@@ -77,5 +77,5 @@ int main(int argc, char** argv) {
                 << "\n";
     }
   }
-  return 0;
+  return args.check_unused();
 }

@@ -46,5 +46,5 @@ int main(int argc, char** argv) {
               << "-core default, varying memory latency ===\n";
     t.emit(csv.empty() ? "" : csv + "_" + app + ".csv");
   }
-  return 0;
+  return args.check_unused();
 }

@@ -60,5 +60,5 @@ int main(int argc, char** argv) {
                                 static_cast<double>(best_pdf), 3)
               << "x PDF advantage\n";
   }
-  return 0;
+  return args.check_unused();
 }

@@ -13,9 +13,15 @@
 // Paper result: the "actual" bars are within 5% of the best in all cases.
 //
 // Usage: fig8_coarsening [--scale=0.125] [--cores=32,16,8] [--csv=path]
+//                        [--jobs=N]
+//
+// The profiling + coarsening prep per core count stays serial (it is the
+// subject of the figure); the resulting 3 x |cores| simulations run
+// concurrently on the sweep engine.
 #include <iostream>
 
 #include "coarsen/coarsen.h"
+#include "exp/sweep.h"
 #include "harness/apps.h"
 #include "profile/ws_profiler.h"
 #include "util/cli.h"
@@ -29,16 +35,20 @@ int main(int argc, char** argv) {
   const double scale = args.get_double("scale", 0.125);
   const auto core_list = args.get_int_list("cores", {32, 16, 8});
   const std::string csv = args.get("csv", "");
+  const int workers = static_cast<int>(args.get_int("jobs", 0));
+  // Every flag has been queried; fail on typos before the long run.
+  if (const int rc = args.check_unused()) return rc;
 
-  Table t({"cores", "scheme", "cycles", "normalized_to_best", "threshold_KB"});
+  std::vector<SweepJob> matrix;
+  std::vector<uint64_t> thresholds;  // actual task_ws per core count
   for (int64_t cores : core_list) {
     const CmpConfig cfg = default_config(static_cast<int>(cores)).scaled(scale);
 
     // Scheme 1: the manual selection of Section 5.
     AppOptions manual;
     manual.scale = scale;
-    const Workload w_manual = make_app("mergesort", cfg, manual);
-    const uint64_t cyc_prev = simulate_app(w_manual, cfg, "pdf").cycles;
+    matrix.push_back({.app = "mergesort", .sched = "pdf", .tag = "previous",
+                      .config = cfg, .opt = manual});
 
     // Profile a finest-grain version once (programs are written
     // fine-grained; the profiler suggests coarsening).
@@ -56,11 +66,14 @@ int main(int argc, char** argv) {
     const CoarsenResult sel = select_task_granularity(w_fine.dag, prof, cp);
 
     // Scheme 2 ("dag"): same finest-grain trace, coarsened task DAG.
-    const TaskDag dag2 = coarsen_dag(w_fine.dag, sel.stopping_groups);
     Workload w_dag;
     w_dag.name = "mergesort-coarsened";
-    w_dag.dag = dag2;
-    const uint64_t cyc_dag = simulate_app(w_dag, cfg, "pdf").cycles;
+    w_dag.dag = coarsen_dag(w_fine.dag, sel.stopping_groups);
+    matrix.push_back({.app = "mergesort", .sched = "pdf", .tag = "dag",
+                      .config = cfg, .opt = fine,
+                      .factory = [w_dag](const CmpConfig&, const AppOptions&) {
+                        return w_dag;
+                      }});
 
     // Scheme 3 ("actual"): regenerate the program from the thresholds.
     // The sort call site's threshold T is in elements; the corresponding
@@ -72,15 +85,27 @@ int main(int argc, char** argv) {
     actual.scale = scale;
     actual.mergesort_task_ws =
         thr > 0 ? static_cast<uint64_t>(thr) * 2 * 4 : fine.mergesort_task_ws;
-    const Workload w_actual = make_app("mergesort", cfg, actual);
-    const uint64_t cyc_actual = simulate_app(w_actual, cfg, "pdf").cycles;
+    thresholds.push_back(actual.mergesort_task_ws);
+    matrix.push_back({.app = "mergesort", .sched = "pdf", .tag = "actual",
+                      .config = cfg, .opt = actual});
+  }
+  const SweepResults res = run_sweep(std::move(matrix), {.workers = workers});
 
+  Table t({"cores", "scheme", "cycles", "normalized_to_best", "threshold_KB"});
+  for (size_t i = 0; i < core_list.size(); ++i) {
+    const int cores = static_cast<int>(core_list[i]);
+    const uint64_t cyc_prev =
+        res.find("mergesort", "pdf", cores, "previous")->result.cycles;
+    const uint64_t cyc_dag =
+        res.find("mergesort", "pdf", cores, "dag")->result.cycles;
+    const uint64_t cyc_actual =
+        res.find("mergesort", "pdf", cores, "actual")->result.cycles;
     const uint64_t best = std::min({cyc_prev, cyc_dag, cyc_actual});
     auto row = [&](const char* scheme, uint64_t cyc) {
-      t.add_row({Table::num(cores), scheme, Table::num(cyc),
+      t.add_row({Table::num(core_list[i]), scheme, Table::num(cyc),
                  Table::num(static_cast<double>(cyc) /
                                 static_cast<double>(best), 4),
-                 Table::num(actual.mergesort_task_ws / 1024)});
+                 Table::num(thresholds[i] / 1024)});
     };
     row("previous", cyc_prev);
     row("cache/(2*cores) dag", cyc_dag);

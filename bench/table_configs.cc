@@ -40,5 +40,5 @@ int main(int argc, char** argv) {
         scale);
   print(single_tech_45nm_configs(), "Table 3: 45nm single-technology configs",
         scale);
-  return 0;
+  return args.check_unused();
 }

@@ -74,5 +74,5 @@ int main(int argc, char** argv) {
   t.emit(csv);
   std::cout << "pdf_total_E gates L2 segments down to PDF's resident working "
                "set; ws_total_E keeps the full L2 powered.\n";
-  return 0;
+  return args.check_unused();
 }

@@ -99,5 +99,6 @@ int main(int argc, char** argv) {
                                 : Table::num(static_cast<int64_t>(mismatches)) +
                                       " mismatching cells")
             << "\n";
-  return mismatches == 0 ? 0 : 1;
+  if (mismatches != 0) return 1;
+  return args.check_unused();
 }

@@ -9,8 +9,13 @@
 //    intermediate, PDF >= WS.
 //
 // Usage: table_summary [--scale=0.125] [--cores=8,16,32] [--csv=path]
+//                      [--jobs=N]
+//
+// The whole (app x cores x scheduler) matrix runs concurrently on the
+// sweep engine.
 #include <iostream>
 
+#include "exp/sweep.h"
 #include "harness/apps.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -22,31 +27,40 @@ int main(int argc, char** argv) {
   const double scale = args.get_double("scale", 0.125);
   const auto core_list = args.get_int_list("cores", {8, 16, 32});
   const std::string csv = args.get("csv", "");
+  const int jobs = static_cast<int>(args.get_int("jobs", 0));
+  // Every flag has been queried; fail on typos before the long run.
+  if (const int rc = args.check_unused()) return rc;
+
+  SweepSpec spec;
+  spec.apps = known_apps();
+  spec.scheds = {"pdf", "ws"};
+  spec.core_counts.assign(core_list.begin(), core_list.end());
+  spec.scales = {scale};
+  spec.skip = [](const std::string& app, const CmpConfig& cfg) {
+    return app == "lu" && cfg.cores > 16;
+  };
+  const SweepResults res = run_sweep(spec, {.workers = jobs});
 
   Table t({"app", "cores", "pdf_mpki", "ws_mpki", "pdf_miss_reduction%",
            "pdf_vs_ws_speedup", "ws_bw%"});
   for (const std::string& app : known_apps()) {
     for (int64_t c : core_list) {
-      if (app == "lu" && c > 16) continue;
-      const CmpConfig cfg = default_config(static_cast<int>(c)).scaled(scale);
-      AppOptions opt;
-      opt.scale = scale;
-      const Workload w = make_app(app, cfg, opt);
-      const SimResult pdf = simulate_app(w, cfg, "pdf");
-      const SimResult ws = simulate_app(w, cfg, "ws");
+      const SweepRecord* pdf = res.find(app, "pdf", static_cast<int>(c));
+      const SweepRecord* ws = res.find(app, "ws", static_cast<int>(c));
+      if (!pdf || !ws) continue;  // skipped combination (LU > 16)
       const double red =
-          ws.l2_misses
-              ? 100.0 * (static_cast<double>(ws.l2_misses) -
-                         static_cast<double>(pdf.l2_misses)) /
-                    static_cast<double>(ws.l2_misses)
+          ws->result.l2_misses
+              ? 100.0 * (static_cast<double>(ws->result.l2_misses) -
+                         static_cast<double>(pdf->result.l2_misses)) /
+                    static_cast<double>(ws->result.l2_misses)
               : 0.0;
       t.add_row({app, Table::num(c),
-                 Table::num(pdf.l2_misses_per_kilo_instr(), 3),
-                 Table::num(ws.l2_misses_per_kilo_instr(), 3),
+                 Table::num(pdf->result.l2_misses_per_kilo_instr(), 3),
+                 Table::num(ws->result.l2_misses_per_kilo_instr(), 3),
                  Table::num(red, 1),
-                 Table::num(static_cast<double>(ws.cycles) /
-                                static_cast<double>(pdf.cycles), 3),
-                 Table::num(100.0 * ws.mem_bandwidth_utilization(), 1)});
+                 Table::num(static_cast<double>(ws->result.cycles) /
+                                static_cast<double>(pdf->result.cycles), 3),
+                 Table::num(100.0 * ws->result.mem_bandwidth_utilization(), 1)});
     }
   }
   std::cout << "\n=== Sections 5.1/5.5: benchmark summary (PDF vs WS) ===\n";

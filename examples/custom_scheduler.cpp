@@ -80,5 +80,5 @@ int main(int argc, char** argv) {
   std::printf("\nRandom greedy is load-balanced but cache-oblivious: its "
               "misses bracket the\nvalue of PDF's sequential-order policy "
               "(and of WS's depth-first locality).\n");
-  return 0;
+  return args.check_unused();
 }

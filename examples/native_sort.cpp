@@ -64,5 +64,5 @@ int main(int argc, char** argv) {
               "shared LLC the PDF\nexecutor's cache behaviour mirrors the "
               "simulated results)\n",
               threads, elems);
-  return 0;
+  return args.check_unused();
 }

@@ -38,5 +38,5 @@ int main(int argc, char** argv) {
                 100.0 * (1.0 - static_cast<double>(pdf.l2_misses) /
                                    static_cast<double>(ws.l2_misses)));
   }
-  return 0;
+  return args.check_unused();
 }

@@ -17,10 +17,12 @@
 #include "sched/ws_scheduler.h"
 #include "simarch/config.h"
 #include "simarch/engine.h"
+#include "util/cli.h"
 
 using namespace cachesched;
 
-int main() {
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
   DagBuilder builder;
 
   // one producer writes a 4 MB buffer...
@@ -74,5 +76,5 @@ int main() {
   std::printf("\nPDF runs all consumers in parallel over the hot shared buffer, then the\n"
               "scanners; WS serializes the consumers on the spawning core while the\n"
               "thieves run scanners — same cold misses, worse completion time.\n");
-  return 0;
+  return args.check_unused();
 }

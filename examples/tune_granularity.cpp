@@ -76,5 +76,5 @@ int main(int argc, char** argv) {
   std::printf("auto-tuned within %.1f%% of hand-tuned (paper: within 5%%)\n",
               100.0 * (static_cast<double>(t_tuned) /
                            static_cast<double>(t_manual) - 1.0));
-  return 0;
+  return args.check_unused();
 }

@@ -1,0 +1,254 @@
+#include "exp/sweep.h"
+
+#include <atomic>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace cachesched {
+namespace {
+
+std::vector<CmpConfig> configs_for(const SweepSpec& spec, double scale) {
+  std::vector<CmpConfig> bases;
+  if (spec.tech == "default") {
+    if (spec.core_counts.empty()) {
+      bases = default_configs();
+    } else {
+      for (int c : spec.core_counts) bases.push_back(default_config(c));
+    }
+  } else if (spec.tech == "45nm") {
+    if (spec.core_counts.empty()) {
+      bases = single_tech_45nm_configs();
+    } else {
+      for (int c : spec.core_counts) bases.push_back(single_tech_45nm_config(c));
+    }
+  } else {
+    throw std::invalid_argument("unknown tech: " + spec.tech +
+                                " (known: default 45nm)");
+  }
+  for (CmpConfig& cfg : bases) {
+    cfg = cfg.scaled(scale);
+    if (spec.l2_hit_cycles) cfg.l2_hit_cycles = *spec.l2_hit_cycles;
+    if (spec.mem_latency_cycles) cfg.mem_latency_cycles = *spec.mem_latency_cycles;
+    if (spec.l2_banks) cfg.l2_banks = *spec.l2_banks;
+    if (spec.task_dispatch_cycles) {
+      cfg.task_dispatch_cycles = *spec.task_dispatch_cycles;
+    }
+  }
+  return bases;
+}
+
+SweepRecord run_one(const SweepJob& job) {
+  const Workload w = job.factory ? job.factory(job.config, job.opt)
+                                 : make_app(job.app, job.config, job.opt);
+  CmpConfig cfg = job.config;
+  std::string sched = job.sched;
+  if (sched == kSequentialSched) {
+    cfg.cores = 1;
+    cfg.name += "-seq";
+    sched = "pdf";  // one core: PDF = sequential 1DF order
+  }
+  CmpSimulator sim(cfg);
+  if (job.quantum_cycles) sim.set_quantum_cycles(*job.quantum_cycles);
+  auto s = make_scheduler(sched);
+  SweepRecord rec;
+  rec.job = job;
+  rec.job.factory = nullptr;  // don't retain captured workloads in results
+  rec.params = w.params;
+  rec.num_tasks = w.dag.num_tasks();
+  rec.total_refs = w.dag.total_refs();
+  rec.result = sim.run(w.dag, *s);
+  return rec;
+}
+
+std::string json_escape(const std::string& s) {
+  std::ostringstream os;
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+/// Shortest decimal that round-trips typical scale factors (0.125 ->
+/// "0.125", not "0.125000"); keeps CSV/JSON output stable and readable.
+std::string format_scale(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[64];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+    if (std::stod(probe) == v) return probe;
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::vector<SweepJob> expand(const SweepSpec& spec) {
+  std::vector<SweepJob> jobs;
+  for (double scale : spec.scales) {
+    const std::vector<CmpConfig> configs = configs_for(spec, scale);
+    for (const std::string& app : spec.apps) {
+      for (const CmpConfig& cfg : configs) {
+        if (spec.skip && spec.skip(app, cfg)) continue;
+        SweepJob job;
+        job.app = app;
+        job.config = cfg;
+        job.opt.scale = scale;
+        job.opt.fine_grained = spec.fine_grained;
+        job.opt.mergesort_task_ws = spec.mergesort_task_ws;
+        job.opt.seed = spec.seed;
+        job.quantum_cycles = spec.quantum_cycles;
+        if (spec.sequential_baseline) {
+          job.sched = kSequentialSched;
+          jobs.push_back(job);
+        }
+        for (const std::string& sched : spec.scheds) {
+          job.sched = sched;
+          jobs.push_back(job);
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+SweepResults run_sweep(std::vector<SweepJob> jobs,
+                       const SweepOptions& options) {
+  std::vector<SweepRecord> records(jobs.size());
+  const size_t total = jobs.size();
+
+  int workers = options.workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) workers = 1;
+  }
+  workers = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(workers), std::max<size_t>(total, 1)));
+
+  std::atomic<size_t> next{0};
+  size_t completed = 0;  // guarded by mu, so callbacks see monotonic counts
+  std::mutex mu;         // guards completed, on_result and first_error
+  std::exception_ptr first_error;
+
+  auto drain = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= total) return;
+      try {
+        records[i] = run_one(jobs[i]);
+        if (options.on_result) {
+          std::lock_guard<std::mutex> lock(mu);
+          options.on_result(records[i], ++completed, total);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    drain();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int t = 0; t < workers; ++t) pool.emplace_back(drain);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return SweepResults(std::move(records));
+}
+
+SweepResults run_sweep(const SweepSpec& spec, const SweepOptions& options) {
+  return run_sweep(expand(spec), options);
+}
+
+const SweepRecord* SweepResults::find(const std::string& app,
+                                      const std::string& sched, int cores,
+                                      const std::string& tag) const {
+  for (const SweepRecord& r : records_) {
+    if (r.job.app == app && r.job.sched == sched &&
+        r.job.config.cores == cores && r.job.tag == tag) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+Table SweepResults::to_table() const {
+  Table t({"app", "sched", "tag", "cores", "scale", "tasks", "refs", "cycles",
+           "instructions", "l1_hits", "l2_hits", "l2_misses",
+           "L2miss/1Kinstr", "bw_util%", "core_util%", "steals"});
+  for (const SweepRecord& r : records_) {
+    t.add_row({r.job.app, r.job.sched, r.job.tag.empty() ? "-" : r.job.tag,
+               Table::num(static_cast<int64_t>(r.job.config.cores)),
+               format_scale(r.job.opt.scale), Table::num(r.num_tasks),
+               Table::num(r.total_refs), Table::num(r.result.cycles),
+               Table::num(r.result.instructions), Table::num(r.result.l1_hits),
+               Table::num(r.result.l2_hits), Table::num(r.result.l2_misses),
+               Table::num(r.result.l2_misses_per_kilo_instr(), 3),
+               Table::num(100.0 * r.result.mem_bandwidth_utilization(), 1),
+               Table::num(100.0 * r.result.core_utilization(), 1),
+               Table::num(r.result.steals)});
+  }
+  return t;
+}
+
+std::string SweepResults::to_json() const {
+  std::ostringstream os;
+  os << "[\n";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const SweepRecord& r = records_[i];
+    os << "  {\"app\": \"" << json_escape(r.job.app) << "\""
+       << ", \"sched\": \"" << json_escape(r.job.sched) << "\""
+       << ", \"tag\": \"" << json_escape(r.job.tag) << "\""
+       << ", \"config\": \"" << json_escape(r.job.config.name) << "\""
+       << ", \"cores\": " << r.job.config.cores
+       << ", \"scale\": " << format_scale(r.job.opt.scale)
+       << ", \"params\": \"" << json_escape(r.params) << "\""
+       << ", \"tasks\": " << r.num_tasks
+       << ", \"refs\": " << r.total_refs
+       << ", \"cycles\": " << r.result.cycles
+       << ", \"instructions\": " << r.result.instructions
+       << ", \"l1_hits\": " << r.result.l1_hits
+       << ", \"l2_hits\": " << r.result.l2_hits
+       << ", \"l2_misses\": " << r.result.l2_misses
+       << ", \"writebacks\": " << r.result.writebacks
+       << ", \"mem_stall_cycles\": " << r.result.mem_stall_cycles
+       << ", \"steals\": " << r.result.steals << "}"
+       << (i + 1 < records_.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+void SweepResults::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write " + path);
+  f << to_table().to_csv();
+}
+
+void SweepResults::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write " + path);
+  f << to_json();
+}
+
+}  // namespace cachesched

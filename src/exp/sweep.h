@@ -1,0 +1,157 @@
+// Parallel experiment-sweep engine.
+//
+// Every figure/table in the paper is a cross product (apps x schedulers x
+// configurations x scales) of independent, deterministic simulations.
+// Instead of each bench hand-rolling the same serial nested loop, a bench
+// declares a SweepSpec (or builds an explicit job list), run_sweep expands
+// it into a job matrix and executes the jobs on a worker thread pool —
+// every CmpSimulator::run is self-contained, so the sweep saturates the
+// host while each simulation stays exactly deterministic.
+//
+// Determinism guarantee: results are stored by job index, so a sweep's
+// records — and therefore its table/CSV/JSON output — are byte-identical
+// for any worker count (tests/sweep_test.cc enforces this).
+//
+// Typical use:
+//
+//   SweepSpec spec;
+//   spec.apps = {"mergesort", "hashjoin"};
+//   spec.scheds = {"pdf", "ws"};
+//   spec.core_counts = {8, 16, 32};
+//   spec.sequential_baseline = true;     // adds a "seq" job per config
+//   SweepResults res = run_sweep(spec, {.workers = 8});
+//   res.to_table().emit("out.csv");
+//
+// Jobs may also be built directly (custom workloads, per-job overrides):
+// records() keeps job order, so callers can pair results positionally or
+// via SweepResults::find.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/apps.h"
+#include "simarch/config.h"
+#include "simarch/engine.h"
+#include "util/table.h"
+#include "workloads/common.h"
+
+namespace cachesched {
+
+/// Pseudo-scheduler name for the sequential baseline: the workload on one
+/// core of the same configuration under PDF (= 1DF order), the
+/// denominator of the paper's speedup plots.
+inline constexpr const char* kSequentialSched = "seq";
+
+/// Builds the workload a job simulates; defaults to make_app(app, ...).
+using WorkloadFactory =
+    std::function<Workload(const CmpConfig&, const AppOptions&)>;
+
+/// One simulation: a workload on a configuration under a scheduler.
+struct SweepJob {
+  std::string app;    // workload name for make_app, or a label when
+                      // `factory` is set
+  std::string sched;  // registry name, or kSequentialSched
+  std::string tag;    // free-form label distinguishing variants of the
+                      // same (app, sched, config), e.g. an ablation axis
+  CmpConfig config;   // final configuration (already scaled/overridden)
+  AppOptions opt;
+  std::optional<uint64_t> quantum_cycles;  // simulator run-ahead override
+  WorkloadFactory factory;  // empty = make_app(app, config, opt)
+};
+
+/// Declarative cross-product sweep.
+struct SweepSpec {
+  std::vector<std::string> apps;
+  std::vector<std::string> scheds = {"pdf", "ws"};
+  /// Core counts selecting configurations from `tech`'s table; empty =
+  /// every configuration of the table.
+  std::vector<int> core_counts = {1, 2, 4, 8, 16, 32};
+  std::vector<double> scales = {0.125};
+  std::string tech = "default";  // "default" (Table 2) | "45nm" (Table 3)
+  bool sequential_baseline = false;
+
+  // Workload options applied to every job.
+  bool fine_grained = true;
+  uint64_t mergesort_task_ws = 0;
+  uint64_t seed = 42;
+
+  // Configuration overrides applied after scaling.
+  std::optional<int> l2_hit_cycles;
+  std::optional<int> mem_latency_cycles;
+  std::optional<int> l2_banks;
+  std::optional<uint32_t> task_dispatch_cycles;
+  std::optional<uint64_t> quantum_cycles;
+
+  /// Optional per-(app, config) exclusion, e.g. the paper's "LU only up
+  /// to 16 cores" rule. Return true to drop the combination.
+  std::function<bool(const std::string& app, const CmpConfig&)> skip;
+};
+
+/// Expands the cross product in deterministic order: scale-major, then
+/// app, then configuration, with the sequential baseline (if requested)
+/// before the scheduler jobs of each (app, configuration).
+std::vector<SweepJob> expand(const SweepSpec& spec);
+
+/// A finished job. `result.scheduler` is the engine's name for the run
+/// ("pdf" for seq jobs); `job.sched` is the sweep identity.
+struct SweepRecord {
+  SweepJob job;
+  std::string params;       // workload parameter description
+  uint64_t num_tasks = 0;
+  uint64_t total_refs = 0;
+  SimResult result;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = run inline.
+  int workers = 0;
+  /// Called after each job finishes (serialized; `completed` counts
+  /// finished jobs, not the record's index).
+  std::function<void(const SweepRecord&, size_t completed, size_t total)>
+      on_result;
+};
+
+class SweepResults {
+ public:
+  SweepResults() = default;
+  explicit SweepResults(std::vector<SweepRecord> records)
+      : records_(std::move(records)) {}
+
+  const std::vector<SweepRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+  size_t size() const { return records_.size(); }
+  const SweepRecord& operator[](size_t i) const { return records_[i]; }
+
+  /// First record matching (app, sched, cores[, tag]); nullptr if none.
+  const SweepRecord* find(const std::string& app, const std::string& sched,
+                          int cores, const std::string& tag = "") const;
+
+  /// Full result table: one row per record, every metric column. The
+  /// table renders both human-readable (emit) and CSV; cells are
+  /// deterministic functions of the simulation results.
+  Table to_table() const;
+
+  /// JSON array of records (stable field order, no timing fields).
+  std::string to_json() const;
+
+  void write_csv(const std::string& path) const;
+  void write_json(const std::string& path) const;
+
+ private:
+  std::vector<SweepRecord> records_;
+};
+
+/// Runs `jobs` on a worker pool; records are in job order regardless of
+/// worker count. The first exception thrown by a job (unknown app or
+/// scheduler, bad scale, ...) is rethrown after the pool drains.
+SweepResults run_sweep(std::vector<SweepJob> jobs,
+                       const SweepOptions& options = {});
+
+/// expand + run.
+SweepResults run_sweep(const SweepSpec& spec, const SweepOptions& options = {});
+
+}  // namespace cachesched

@@ -4,9 +4,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "sched/central_fifo_scheduler.h"
-#include "sched/pdf_scheduler.h"
-#include "sched/ws_scheduler.h"
 #include "workloads/cholesky.h"
 #include "workloads/hashjoin.h"
 #include "workloads/heat.h"
@@ -100,13 +97,6 @@ Workload make_app(const std::string& name, const CmpConfig& cfg,
     return build_heat(p);
   }
   throw std::invalid_argument("unknown app: " + name);
-}
-
-std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
-  if (name == "pdf") return std::make_unique<PdfScheduler>();
-  if (name == "ws") return std::make_unique<WsScheduler>();
-  if (name == "fifo") return std::make_unique<CentralFifoScheduler>();
-  throw std::invalid_argument("unknown scheduler: " + name);
 }
 
 SimResult simulate_app(const Workload& w, const CmpConfig& cfg,

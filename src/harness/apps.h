@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/scheduler.h"
+#include "sched/registry.h"
 #include "simarch/config.h"
 #include "simarch/engine.h"
 #include "workloads/common.h"
@@ -37,8 +38,9 @@ Workload make_app(const std::string& name, const CmpConfig& cfg,
 
 std::vector<std::string> known_apps();
 
-/// Schedulers: "pdf", "ws", "fifo".
-std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
+// Schedulers ("pdf", "ws", "fifo", plus anything else registered) are
+// constructed by name via make_scheduler from sched/registry.h, included
+// above so existing callers keep working.
 
 /// Runs `w` on `cfg` under scheduler `sched`.
 SimResult simulate_app(const Workload& w, const CmpConfig& cfg,

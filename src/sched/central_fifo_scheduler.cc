@@ -1,0 +1,9 @@
+#include "sched/central_fifo_scheduler.h"
+
+#include "sched/registry.h"
+
+namespace cachesched {
+
+CACHESCHED_REGISTER_SCHEDULER("fifo", CentralFifoScheduler)
+
+}  // namespace cachesched

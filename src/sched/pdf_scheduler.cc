@@ -1,6 +1,10 @@
 #include "sched/pdf_scheduler.h"
 
+#include "sched/registry.h"
+
 namespace cachesched {
+
+CACHESCHED_REGISTER_SCHEDULER("pdf", PdfScheduler)
 
 void PdfScheduler::reset(const TaskDag& dag, int num_cores) {
   (void)dag;

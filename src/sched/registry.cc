@@ -1,0 +1,86 @@
+#include "sched/registry.h"
+
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace cachesched {
+
+struct SchedulerRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, SchedulerFactory> factories;
+};
+
+SchedulerRegistry& SchedulerRegistry::instance() {
+  static SchedulerRegistry r;
+  return r;
+}
+
+SchedulerRegistry::Impl& SchedulerRegistry::impl() const {
+  // Meyers singleton so registrations from static initializers in other
+  // translation units are safe regardless of initialization order.
+  static Impl i;
+  return i;
+}
+
+void SchedulerRegistry::add(const std::string& name,
+                            SchedulerFactory factory) {
+  if (name.empty() || !factory) {
+    throw std::invalid_argument("scheduler registration needs a name and a factory");
+  }
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  if (!i.factories.emplace(name, std::move(factory)).second) {
+    throw std::invalid_argument("duplicate scheduler registration: " + name);
+  }
+}
+
+std::unique_ptr<Scheduler> SchedulerRegistry::make(
+    const std::string& name) const {
+  SchedulerFactory factory;
+  {
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    auto it = i.factories.find(name);
+    if (it != i.factories.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::ostringstream os;
+    os << "unknown scheduler: " << name << " (known:";
+    for (const auto& n : names()) os << " " << n;
+    os << ")";
+    throw std::invalid_argument(os.str());
+  }
+  return factory();
+}
+
+bool SchedulerRegistry::contains(const std::string& name) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  return i.factories.count(name) > 0;
+}
+
+std::vector<std::string> SchedulerRegistry::names() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  std::vector<std::string> out;
+  out.reserve(i.factories.size());
+  for (const auto& [name, _] : i.factories) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+SchedulerRegistrar::SchedulerRegistrar(const std::string& name,
+                                       SchedulerFactory factory) {
+  SchedulerRegistry::instance().add(name, std::move(factory));
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  return SchedulerRegistry::instance().make(name);
+}
+
+std::vector<std::string> known_schedulers() {
+  return SchedulerRegistry::instance().names();
+}
+
+}  // namespace cachesched

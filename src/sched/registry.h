@@ -1,0 +1,63 @@
+// Scheduler registry: schedulers are constructed by name through a
+// process-wide factory table, so the CLI, the sweep engine (src/exp) and
+// the tests stay decoupled from the concrete scheduler headers. Each
+// scheduler's .cc self-registers with CACHESCHED_REGISTER_SCHEDULER; the
+// library is linked as a CMake OBJECT library so no registration is
+// dropped by static-archive dead stripping.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+
+namespace cachesched {
+
+using SchedulerFactory = std::function<std::unique_ptr<Scheduler>()>;
+
+class SchedulerRegistry {
+ public:
+  /// The process-wide registry.
+  static SchedulerRegistry& instance();
+
+  /// Registers `factory` under `name`; throws std::invalid_argument if the
+  /// name is already taken (duplicate registrations are always bugs).
+  void add(const std::string& name, SchedulerFactory factory);
+
+  /// Constructs a fresh scheduler; throws std::invalid_argument listing
+  /// the known names if `name` is not registered.
+  std::unique_ptr<Scheduler> make(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  SchedulerRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// RAII helper: constructing one registers a factory (used by the
+/// registration macro below from each scheduler's translation unit).
+struct SchedulerRegistrar {
+  SchedulerRegistrar(const std::string& name, SchedulerFactory factory);
+};
+
+/// Convenience wrappers mirroring the registry, kept as free functions
+/// because they predate it (harness/apps.h re-exports them).
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
+std::vector<std::string> known_schedulers();
+
+}  // namespace cachesched
+
+/// Registers `Type` (default-constructible Scheduler subclass) as `name`.
+/// Place in the scheduler's .cc file at namespace cachesched scope.
+#define CACHESCHED_REGISTER_SCHEDULER(name, Type)                         \
+  namespace {                                                             \
+  const ::cachesched::SchedulerRegistrar registrar_##Type(                \
+      name, [] { return std::make_unique<Type>(); });                     \
+  }

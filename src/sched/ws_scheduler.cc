@@ -1,6 +1,10 @@
 #include "sched/ws_scheduler.h"
 
+#include "sched/registry.h"
+
 namespace cachesched {
+
+CACHESCHED_REGISTER_SCHEDULER("ws", WsScheduler)
 
 void WsScheduler::reset(const TaskDag& dag, int num_cores) {
   (void)dag;

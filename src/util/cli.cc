@@ -1,10 +1,24 @@
 #include "util/cli.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
 namespace cachesched {
+namespace {
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, char** argv) {
   if (argc > 0) program_ = argv[0];
@@ -57,12 +71,22 @@ std::vector<int64_t> CliArgs::get_int_list(const std::string& key,
   auto s = get(key, "");
   if (s.empty()) return def;
   std::vector<int64_t> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(std::stoll(item));
-  }
+  for (const auto& item : split_commas(s)) out.push_back(std::stoll(item));
   return out;
+}
+
+std::vector<double> CliArgs::get_double_list(const std::string& key,
+                                             std::vector<double> def) const {
+  auto s = get(key, "");
+  if (s.empty()) return def;
+  std::vector<double> out;
+  for (const auto& item : split_commas(s)) out.push_back(std::stod(item));
+  return out;
+}
+
+std::vector<std::string> CliArgs::get_list(const std::string& key,
+                                           const std::string& def) const {
+  return split_commas(get(key, def));
 }
 
 std::vector<std::string> CliArgs::unused() const {
@@ -72,6 +96,15 @@ std::vector<std::string> CliArgs::unused() const {
     if (!used_.count(k)) out.push_back(k);
   }
   return out;
+}
+
+int CliArgs::check_unused() const {
+  const std::vector<std::string> bad = unused();
+  for (const auto& k : bad) {
+    std::fprintf(stderr, "%s: unknown argument --%s\n",
+                 program_.empty() ? "cachesched" : program_.c_str(), k.c_str());
+  }
+  return bad.empty() ? 0 : 2;
 }
 
 }  // namespace cachesched

@@ -25,9 +25,22 @@ class CliArgs {
   std::vector<int64_t> get_int_list(const std::string& key,
                                     std::vector<int64_t> def) const;
 
+  /// Comma-separated double list, e.g. --scales=0.125,0.25.
+  std::vector<double> get_double_list(const std::string& key,
+                                      std::vector<double> def) const;
+
+  /// Comma-separated string list, e.g. --apps=lu,mergesort.
+  std::vector<std::string> get_list(const std::string& key,
+                                    const std::string& def) const;
+
   /// Keys that were provided but never queried; call at the end of main()
   /// to warn about typos.
   std::vector<std::string> unused() const;
+
+  /// Returns 0 if every provided key was queried; otherwise reports each
+  /// unknown flag on stderr and returns 2. Use as the final `return` of
+  /// main() so typo'd experiment scripts fail loudly in CI.
+  int check_unused() const;
 
   const std::string& program() const { return program_; }
 

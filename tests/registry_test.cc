@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sched/central_fifo_scheduler.h"
+#include "sched/registry.h"
+
+namespace cachesched {
+namespace {
+
+TEST(Registry, BuiltinSchedulersSelfRegister) {
+  const auto names = known_schedulers();
+  for (const char* expected : {"fifo", "pdf", "ws"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing builtin scheduler: " << expected;
+  }
+}
+
+TEST(Registry, NamesAreSorted) {
+  const auto names = known_schedulers();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, MakeByNameReturnsMatchingScheduler) {
+  EXPECT_STREQ(make_scheduler("pdf")->name(), "pdf");
+  EXPECT_STREQ(make_scheduler("ws")->name(), "ws");
+  EXPECT_STREQ(make_scheduler("fifo")->name(), "fifo");
+}
+
+TEST(Registry, MakeReturnsFreshInstances) {
+  auto a = make_scheduler("pdf");
+  auto b = make_scheduler("pdf");
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST(Registry, UnknownNameThrowsListingKnownNames) {
+  try {
+    make_scheduler("round-robin");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown scheduler: round-robin"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("pdf"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ws"), std::string::npos) << msg;
+  }
+}
+
+TEST(Registry, ContainsOnlyRegisteredNames) {
+  auto& reg = SchedulerRegistry::instance();
+  EXPECT_TRUE(reg.contains("pdf"));
+  EXPECT_FALSE(reg.contains("nope"));
+}
+
+TEST(Registry, CustomRegistrationIsVisibleThroughLookup) {
+  SchedulerRegistrar reg("test-fifo-variant",
+                         [] { return std::make_unique<CentralFifoScheduler>(); });
+  EXPECT_TRUE(SchedulerRegistry::instance().contains("test-fifo-variant"));
+  EXPECT_STREQ(make_scheduler("test-fifo-variant")->name(), "fifo");
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  EXPECT_THROW(SchedulerRegistry::instance().add(
+                   "pdf", [] { return make_scheduler("pdf"); }),
+               std::invalid_argument);
+}
+
+TEST(Registry, EmptyNameOrFactoryRejected) {
+  EXPECT_THROW(SchedulerRegistry::instance().add(
+                   "", [] { return make_scheduler("pdf"); }),
+               std::invalid_argument);
+  EXPECT_THROW(SchedulerRegistry::instance().add("valid-name", nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cachesched

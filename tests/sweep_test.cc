@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "exp/sweep.h"
+#include "harness/apps.h"
+
+namespace cachesched {
+namespace {
+
+// Small enough to keep the test fast, large enough that scheduling
+// differences show up in the results.
+constexpr double kScale = 0.0078125;
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.apps = {"mergesort", "matmul"};
+  spec.scheds = {"pdf", "ws", "fifo"};
+  spec.core_counts = {2, 4};
+  spec.scales = {kScale};
+  return spec;
+}
+
+TEST(SweepExpand, CrossProductCountAndOrder) {
+  SweepSpec spec = small_spec();
+  const auto jobs = expand(spec);
+  // 1 scale x 2 apps x 2 configs x 3 scheds.
+  ASSERT_EQ(jobs.size(), 12u);
+  // Order: app-major, then configuration, then scheduler.
+  EXPECT_EQ(jobs[0].app, "mergesort");
+  EXPECT_EQ(jobs[0].config.cores, 2);
+  EXPECT_EQ(jobs[0].sched, "pdf");
+  EXPECT_EQ(jobs[2].sched, "fifo");
+  EXPECT_EQ(jobs[3].config.cores, 4);
+  EXPECT_EQ(jobs[6].app, "matmul");
+}
+
+TEST(SweepExpand, SequentialBaselinePrecedesSchedulerJobs) {
+  SweepSpec spec = small_spec();
+  spec.sequential_baseline = true;
+  const auto jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 16u);  // (1 seq + 3 scheds) per (app, config)
+  EXPECT_EQ(jobs[0].sched, kSequentialSched);
+  EXPECT_EQ(jobs[1].sched, "pdf");
+}
+
+TEST(SweepExpand, SkipPredicateDropsCombinations) {
+  SweepSpec spec = small_spec();
+  spec.skip = [](const std::string& app, const CmpConfig& cfg) {
+    return app == "matmul" && cfg.cores > 2;
+  };
+  const auto jobs = expand(spec);
+  EXPECT_EQ(jobs.size(), 9u);
+  for (const auto& j : jobs) {
+    EXPECT_FALSE(j.app == "matmul" && j.config.cores > 2);
+  }
+}
+
+TEST(SweepExpand, EmptyCoreCountsMeansWholeTechTable) {
+  SweepSpec spec = small_spec();
+  spec.apps = {"matmul"};
+  spec.scheds = {"pdf"};
+  spec.tech = "45nm";
+  spec.core_counts.clear();
+  EXPECT_EQ(expand(spec).size(), single_tech_45nm_configs().size());
+}
+
+TEST(SweepExpand, UnknownTechThrows) {
+  SweepSpec spec = small_spec();
+  spec.tech = "7nm";
+  EXPECT_THROW(expand(spec), std::invalid_argument);
+}
+
+// The acceptance property of the engine: a multi-worker sweep produces
+// byte-identical output to the same sweep with one worker.
+TEST(SweepRun, MultiThreadedMatchesSingleThreadedByteForByte) {
+  SweepSpec spec = small_spec();
+  spec.sequential_baseline = true;
+  const SweepResults serial = run_sweep(spec, {.workers = 1});
+  const SweepResults parallel = run_sweep(spec, {.workers = 4});
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_EQ(serial.to_table().to_csv(), parallel.to_table().to_csv());
+  EXPECT_EQ(serial.to_json(), parallel.to_json());
+}
+
+TEST(SweepRun, RecordsKeepJobOrder) {
+  SweepSpec spec = small_spec();
+  const auto jobs = expand(spec);
+  const SweepResults res = run_sweep(jobs, {.workers = 4});
+  ASSERT_EQ(res.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(res[i].job.app, jobs[i].app);
+    EXPECT_EQ(res[i].job.sched, jobs[i].sched);
+    EXPECT_EQ(res[i].job.config.cores, jobs[i].config.cores);
+    EXPECT_GT(res[i].result.cycles, 0u);
+    EXPECT_EQ(res[i].result.scheduler, jobs[i].sched);
+  }
+}
+
+TEST(SweepRun, SequentialBaselineMatchesHarnessHelper) {
+  const CmpConfig cfg = default_config(4).scaled(kScale);
+  AppOptions opt;
+  opt.scale = kScale;
+  const Workload w = make_app("mergesort", cfg, opt);
+  const SimResult direct = simulate_sequential(w, cfg);
+
+  SweepJob job;
+  job.app = "mergesort";
+  job.sched = kSequentialSched;
+  job.config = cfg;
+  job.opt = opt;
+  const SweepResults res = run_sweep(std::vector<SweepJob>{job});
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].result.cycles, direct.cycles);
+  EXPECT_EQ(res[0].result.l2_misses, direct.l2_misses);
+}
+
+TEST(SweepRun, FindMatchesAppSchedCoresAndTag) {
+  SweepSpec spec = small_spec();
+  const SweepResults res = run_sweep(spec, {.workers = 2});
+  const SweepRecord* r = res.find("matmul", "ws", 4);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->job.app, "matmul");
+  EXPECT_EQ(r->job.sched, "ws");
+  EXPECT_EQ(r->job.config.cores, 4);
+  EXPECT_EQ(res.find("matmul", "ws", 16), nullptr);
+  EXPECT_EQ(res.find("matmul", "ws", 4, "no-such-tag"), nullptr);
+}
+
+TEST(SweepRun, CustomFactoryAndQuantumOverride) {
+  const CmpConfig cfg = default_config(2).scaled(kScale);
+  AppOptions opt;
+  opt.scale = kScale;
+  std::atomic<int> factory_calls{0};
+  SweepJob job;
+  job.app = "custom";
+  job.sched = "pdf";
+  job.config = cfg;
+  job.opt = opt;
+  job.quantum_cycles = 0;  // exact interleaving
+  job.factory = [&factory_calls, &cfg](const CmpConfig&, const AppOptions& o) {
+    ++factory_calls;
+    return make_app("matmul", cfg, o);
+  };
+  const SweepResults res = run_sweep(std::vector<SweepJob>{job});
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(factory_calls.load(), 1);
+  EXPECT_EQ(res[0].job.app, "custom");
+  EXPECT_GT(res[0].result.cycles, 0u);
+}
+
+TEST(SweepRun, WorkerErrorsPropagate) {
+  SweepSpec spec = small_spec();
+  spec.apps = {"matmul", "no-such-app"};
+  EXPECT_THROW(run_sweep(spec, {.workers = 4}), std::invalid_argument);
+}
+
+TEST(SweepRun, OnResultSeesEveryJobExactlyOnce) {
+  SweepSpec spec = small_spec();
+  spec.apps = {"matmul"};
+  std::atomic<size_t> calls{0};
+  size_t last_total = 0;
+  SweepOptions opt;
+  opt.workers = 3;
+  opt.on_result = [&](const SweepRecord&, size_t completed, size_t total) {
+    ++calls;
+    EXPECT_LE(completed, total);
+    last_total = total;
+  };
+  const SweepResults res = run_sweep(spec, opt);
+  EXPECT_EQ(calls.load(), res.size());
+  EXPECT_EQ(last_total, res.size());
+}
+
+TEST(SweepResultsOutput, TableAndJsonContainEveryRecord) {
+  SweepSpec spec = small_spec();
+  spec.apps = {"matmul"};
+  spec.scheds = {"pdf"};
+  const SweepResults res = run_sweep(spec);
+  const std::string csv = res.to_table().to_csv();
+  const std::string json = res.to_json();
+  // Header + one line per record.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+            static_cast<long>(res.size()) + 1);
+  EXPECT_NE(csv.find("matmul,pdf"), std::string::npos);
+  EXPECT_NE(json.find("\"app\": \"matmul\""), std::string::npos);
+  EXPECT_NE(json.find("\"cycles\": "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cachesched

@@ -8,8 +8,14 @@
 //   cachesched_cli replay --dag=join.dag --cores=8 [--sched=pdf]
 //                        [--scale=0.125]            # ...simulate many
 //   cachesched_cli configs                          # print Tables 2 and 3
+//   cachesched_cli sweep --apps=mergesort,hashjoin,lu [--scheds=pdf,ws]
+//                        [--cores=1,2,4,8,16,32|all] [--scales=0.125,...]
+//                        [--tech=default|45nm] [--seq] [--jobs=N]
+//                        [--csv=path] [--json=path] [--progress]
+//                        [--l2-hit=N] [--mem-latency=N] [--banks=N]
+//                        [--dispatch=N]               # parallel job matrix
 //
-// Exit code 0 on success; errors to stderr.
+// Exit code 0 on success (2 on unknown flags); errors to stderr.
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -17,6 +23,7 @@
 #include <vector>
 
 #include "core/dag_io.h"
+#include "exp/sweep.h"
 #include "harness/apps.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -117,6 +124,67 @@ int cmd_replay(const CliArgs& args) {
   return 0;
 }
 
+int cmd_sweep(const CliArgs& args) {
+  SweepSpec spec;
+  spec.apps = args.get_list("apps", "mergesort,hashjoin,lu");
+  if (spec.apps.size() == 1 && spec.apps[0] == "all") spec.apps = known_apps();
+  spec.scheds = args.get_list("scheds", "pdf,ws");
+  if (args.get("cores", "") == "all") {
+    spec.core_counts.clear();  // every configuration of the tech table
+  } else {
+    const auto cores = args.get_int_list("cores", {1, 2, 4, 8, 16, 32});
+    spec.core_counts.assign(cores.begin(), cores.end());
+  }
+  spec.scales =
+      args.get_double_list("scales", {args.get_double("scale", 0.125)});
+  spec.tech = args.get("tech", "default");
+  spec.sequential_baseline = args.get_bool("seq", false);
+  spec.fine_grained = args.get_bool("fine-grained", true);
+  spec.mergesort_task_ws = static_cast<uint64_t>(args.get_int("task-ws", 0));
+  if (args.has("l2-hit")) {
+    spec.l2_hit_cycles = static_cast<int>(args.get_int("l2-hit", 0));
+  }
+  if (args.has("mem-latency")) {
+    spec.mem_latency_cycles = static_cast<int>(args.get_int("mem-latency", 0));
+  }
+  if (args.has("banks")) {
+    spec.l2_banks = static_cast<int>(args.get_int("banks", 0));
+  }
+  if (args.has("dispatch")) {
+    spec.task_dispatch_cycles =
+        static_cast<uint32_t>(args.get_int("dispatch", 0));
+  }
+
+  SweepOptions opt;
+  opt.workers = static_cast<int>(args.get_int("jobs", 0));
+  if (args.get_bool("progress", false)) {
+    opt.on_result = [](const SweepRecord& r, size_t done, size_t total) {
+      std::fprintf(stderr, "[%zu/%zu] %s/%s cores=%d done\n", done, total,
+                   r.job.app.c_str(), r.job.sched.c_str(), r.job.config.cores);
+    };
+  }
+  const std::string csv = args.get("csv", "");
+  const std::string json = args.get("json", "");
+  // Every flag has been queried; fail on typos *before* the long run.
+  if (const int rc = args.check_unused()) return rc;
+
+  const std::vector<SweepJob> jobs = expand(spec);
+  if (jobs.empty()) {
+    std::cerr << "sweep: empty job matrix (check --apps/--scheds/--cores)\n";
+    return 2;
+  }
+  std::cerr << "sweep: " << jobs.size() << " jobs ("
+            << (opt.workers > 0 ? std::to_string(opt.workers) : "auto")
+            << " workers)\n";
+  const SweepResults res = run_sweep(jobs, opt);
+  res.to_table().emit(csv);
+  if (!json.empty()) {
+    res.write_json(json);
+    std::cout << "[json written to " << json << "]\n";
+  }
+  return 0;
+}
+
 int cmd_configs() {
   auto print = [](const char* title, const std::vector<CmpConfig>& v) {
     std::cout << "\n" << title << "\n";
@@ -128,8 +196,9 @@ int cmd_configs() {
 }
 
 int usage() {
-  std::cerr << "usage: cachesched_cli {run|trace|replay|configs} [options]\n"
-               "see the header of tools/cachesched_cli.cc for options\n";
+  std::cerr
+      << "usage: cachesched_cli {run|trace|replay|configs|sweep} [options]\n"
+         "see the header of tools/cachesched_cli.cc for options\n";
   return 2;
 }
 
@@ -140,11 +209,15 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     CliArgs args(argc - 1, argv + 1);
-    if (cmd == "run") return cmd_run(args);
-    if (cmd == "trace") return cmd_trace(args);
-    if (cmd == "replay") return cmd_replay(args);
-    if (cmd == "configs") return cmd_configs();
-    return usage();
+    int rc;
+    if (cmd == "run") rc = cmd_run(args);
+    else if (cmd == "trace") rc = cmd_trace(args);
+    else if (cmd == "replay") rc = cmd_replay(args);
+    else if (cmd == "configs") rc = cmd_configs();
+    else if (cmd == "sweep") rc = cmd_sweep(args);
+    else return usage();
+    const int unused_rc = args.check_unused();
+    return rc ? rc : unused_rc;
   } catch (const std::exception& e) {
     std::cerr << "cachesched_cli: " << e.what() << "\n";
     return 1;
