@@ -191,7 +191,32 @@ TaskDag load_dag(const std::string& path) {
     }
     dag.total_work_ += t.work;
   }
-  for (const RefBlock& b : dag.blocks_) dag.total_refs_ += b.total_refs();
+  // RefBlocks are read raw; reject values the factories can never produce
+  // before the expansion paths trust them (a zero instr_per_ref, a bad
+  // kind byte or an out-of-range stream count would corrupt a replay).
+  for (const RefBlock& b : dag.blocks_) {
+    if (b.kind > RefKind::kInterleave) {
+      throw std::runtime_error("dag_io: invalid block kind");
+    }
+    if (b.kind != RefKind::kCompute && b.instr_per_ref == 0) {
+      throw std::runtime_error("dag_io: block with instr_per_ref == 0");
+    }
+    if (b.kind == RefKind::kRandom && b.region_len == 0) {
+      throw std::runtime_error("dag_io: random block with empty region");
+    }
+    if (b.kind == RefKind::kInterleave) {
+      if (b.num_streams < 1 || b.num_streams > kMaxStreams) {
+        throw std::runtime_error("dag_io: invalid interleave stream count");
+      }
+      uint64_t total = 0;
+      for (int s = 0; s < b.num_streams; ++s) total += b.streams[s].lines;
+      if (total != b.count) {
+        throw std::runtime_error(
+            "dag_io: interleave count != sum of stream lines");
+      }
+    }
+    dag.total_refs_ += b.total_refs();
+  }
   for (TaskId t = 0; t < dag.tasks_.size(); ++t) {
     if (dag.tasks_[t].num_parents == 0) dag.roots_.push_back(t);
   }

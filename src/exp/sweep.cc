@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/json.h"
+
 namespace cachesched {
 namespace {
 
@@ -62,27 +64,6 @@ SweepRecord run_one(const SweepJob& job) {
   rec.total_refs = w.dag.total_refs();
   rec.result = sim.run(w.dag, *s);
   return rec;
-}
-
-std::string json_escape(const std::string& s) {
-  std::ostringstream os;
-  for (char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  return os.str();
 }
 
 /// Shortest decimal that round-trips typical scale factors (0.125 ->

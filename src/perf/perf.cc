@@ -1,0 +1,432 @@
+#include "perf/perf.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/json.h"
+
+namespace cachesched::perf {
+
+Stats measure(int warmup, int reps, const std::function<void()>& fn) {
+  if (reps < 1) reps = 1;
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> secs;
+  secs.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    secs.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  std::sort(secs.begin(), secs.end());
+  Stats s;
+  s.reps = reps;
+  s.min = secs.front();
+  s.median = (reps % 2 != 0)
+                 ? secs[reps / 2]
+                 : 0.5 * (secs[reps / 2 - 1] + secs[reps / 2]);
+  double sum = 0;
+  for (double v : secs) sum += v;
+  s.mean = sum / reps;
+  double var = 0;
+  for (double v : secs) var += (v - s.mean) * (v - s.mean);
+  s.stddev = reps > 1 ? std::sqrt(var / (reps - 1)) : 0.0;
+  return s;
+}
+
+MachineInfo machine_info() {
+  MachineInfo m;
+#if defined(__clang__)
+  m.compiler = "clang " + std::to_string(__clang_major__) + "." +
+               std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  m.compiler = "gcc " + std::to_string(__GNUC__) + "." +
+               std::to_string(__GNUC_MINOR__);
+#else
+  m.compiler = "unknown";
+#endif
+#ifdef NDEBUG
+  m.build_type = "Release";
+#else
+  m.build_type = "Debug";
+#endif
+  m.hardware_concurrency = std::thread::hardware_concurrency();
+#if defined(__linux__)
+  m.os = "linux";
+#elif defined(__APPLE__)
+  m.os = "macos";
+#elif defined(_WIN32)
+  m.os = "windows";
+#else
+  m.os = "unknown";
+#endif
+  return m;
+}
+
+const Benchmark* Report::find(const std::string& name) const {
+  for (const Benchmark& b : benchmarks) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  out += json_escape(s);
+  out += '"';
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Report::to_json() const {
+  std::string o;
+  o += "{\n";
+  o += "  \"schema\": " + std::to_string(schema) + ",\n";
+  o += "  \"suite\": ";
+  append_escaped(o, suite);
+  o += ",\n";
+  o += std::string("  \"quick\": ") + (quick ? "true" : "false") + ",\n";
+  o += "  \"meta\": {\n";
+  o += "    \"compiler\": ";
+  append_escaped(o, meta.compiler);
+  o += ",\n    \"build_type\": ";
+  append_escaped(o, meta.build_type);
+  o += ",\n    \"hardware_concurrency\": " +
+       std::to_string(meta.hardware_concurrency);
+  o += ",\n    \"os\": ";
+  append_escaped(o, meta.os);
+  o += "\n  },\n";
+  o += "  \"benchmarks\": [\n";
+  for (size_t i = 0; i < benchmarks.size(); ++i) {
+    const Benchmark& b = benchmarks[i];
+    o += "    { \"name\": ";
+    append_escaped(o, b.name);
+    o += ", \"metric\": ";
+    append_escaped(o, b.metric);
+    o += ", \"value\": " + num(b.value);
+    o += ", \"work_items\": " + std::to_string(b.work_items);
+    o += ", \"reps\": " + std::to_string(b.stats.reps);
+    o += ", \"secs_min\": " + num(b.stats.min);
+    o += ", \"secs_median\": " + num(b.stats.median);
+    o += " }";
+    if (i + 1 < benchmarks.size()) o += ",";
+    o += "\n";
+  }
+  o += "  ]\n}\n";
+  return o;
+}
+
+void Report::write(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("perf: cannot write " + path);
+  f << to_json();
+}
+
+// ------------------------------------------------------------------ JSON
+// Minimal recursive-descent JSON reader, sufficient for the report schema
+// (objects, arrays, strings, numbers, booleans, null). Not a general
+// validator — unknown keys are tolerated and skipped.
+namespace {
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool b = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("perf: JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    JsonValue v;
+    switch (c) {
+      case '{': {
+        v.kind = JsonValue::kObject;
+        ++pos_;
+        if (peek() == '}') {
+          ++pos_;
+          return v;
+        }
+        for (;;) {
+          expect('"');
+          --pos_;
+          std::string key = string_body();
+          expect(':');
+          v.object.emplace(std::move(key), value());
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        v.kind = JsonValue::kArray;
+        ++pos_;
+        if (peek() == ']') {
+          ++pos_;
+          return v;
+        }
+        for (;;) {
+          v.array.push_back(value());
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect(']');
+          return v;
+        }
+      }
+      case '"':
+        v.kind = JsonValue::kString;
+        v.str = string_body();
+        return v;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        v.kind = JsonValue::kBool;
+        v.b = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        v.kind = JsonValue::kBool;
+        v.b = false;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return v;
+      default: {
+        const size_t start = pos_;
+        if (s_[pos_] == '-') ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-')) {
+          ++pos_;
+        }
+        if (pos_ == start) fail("expected a value");
+        v.kind = JsonValue::kNumber;
+        try {
+          v.number = std::stod(s_.substr(start, pos_ - start));
+        } catch (const std::exception&) {
+          fail("bad number");
+        }
+        return v;
+      }
+    }
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            try {
+              size_t used = 0;
+              code = std::stoul(s_.substr(pos_, 4), &used, 16);
+              if (used != 4) fail("bad \\u escape");
+            } catch (const std::exception&) {
+              fail("bad \\u escape");
+            }
+            pos_ += 4;
+            // Reports only emit \u for ASCII control characters; decoding
+            // a larger code point would need UTF-8 encoding, so refuse
+            // rather than corrupt the string.
+            if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+            out += static_cast<char>(code);
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= s_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+double num_or(const JsonValue* v, double def) {
+  return v != nullptr && v->kind == JsonValue::kNumber ? v->number : def;
+}
+
+std::string str_or(const JsonValue* v, const std::string& def) {
+  return v != nullptr && v->kind == JsonValue::kString ? v->str : def;
+}
+
+}  // namespace
+
+Report parse_report(const std::string& json) {
+  const JsonValue root = JsonParser(json).parse();
+  if (root.kind != JsonValue::kObject) {
+    throw std::runtime_error("perf: report is not a JSON object");
+  }
+  Report r;
+  r.schema = static_cast<int>(num_or(root.get("schema"), 0));
+  if (r.schema != 1) {
+    throw std::runtime_error("perf: unsupported report schema " +
+                             std::to_string(r.schema));
+  }
+  r.suite = str_or(root.get("suite"), "");
+  const JsonValue* quick = root.get("quick");
+  r.quick = quick != nullptr && quick->kind == JsonValue::kBool && quick->b;
+  if (const JsonValue* meta = root.get("meta")) {
+    r.meta.compiler = str_or(meta->get("compiler"), "");
+    r.meta.build_type = str_or(meta->get("build_type"), "");
+    r.meta.hardware_concurrency = static_cast<unsigned>(
+        num_or(meta->get("hardware_concurrency"), 0));
+    r.meta.os = str_or(meta->get("os"), "");
+  }
+  const JsonValue* benchmarks = root.get("benchmarks");
+  if (benchmarks == nullptr || benchmarks->kind != JsonValue::kArray) {
+    throw std::runtime_error("perf: report has no benchmarks array");
+  }
+  for (const JsonValue& jb : benchmarks->array) {
+    if (jb.kind != JsonValue::kObject) {
+      throw std::runtime_error("perf: benchmark entry is not an object");
+    }
+    Benchmark b;
+    b.name = str_or(jb.get("name"), "");
+    b.metric = str_or(jb.get("metric"), "");
+    b.value = num_or(jb.get("value"), 0);
+    b.work_items = static_cast<uint64_t>(num_or(jb.get("work_items"), 0));
+    b.stats.reps = static_cast<int>(num_or(jb.get("reps"), 0));
+    b.stats.min = num_or(jb.get("secs_min"), 0);
+    b.stats.median = num_or(jb.get("secs_median"), 0);
+    if (b.name.empty()) {
+      throw std::runtime_error("perf: benchmark entry without a name");
+    }
+    r.benchmarks.push_back(std::move(b));
+  }
+  return r;
+}
+
+Report load_report(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("perf: cannot read " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_report(ss.str());
+}
+
+std::vector<Delta> compare_reports(const Report& baseline,
+                                   const Report& current, double threshold) {
+  std::vector<Delta> out;
+  for (const Benchmark& b : baseline.benchmarks) {
+    Delta d;
+    d.name = b.name;
+    d.metric = b.metric;
+    d.base_value = b.value;
+    if (const Benchmark* c = current.find(b.name)) {
+      d.cur_value = c->value;
+      // A non-positive baseline carries no signal; report the ratio as 0
+      // but never count it as a regression.
+      d.ratio = b.value > 0 ? c->value / b.value : 0;
+      d.regression = b.value > 0 && d.ratio < 1.0 - threshold;
+    } else {
+      d.missing_in_current = true;
+    }
+    out.push_back(d);
+  }
+  for (const Benchmark& c : current.benchmarks) {
+    if (baseline.find(c.name) == nullptr) {
+      Delta d;
+      d.name = c.name;
+      d.metric = c.metric;
+      d.cur_value = c.value;
+      d.missing_in_baseline = true;
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+}  // namespace cachesched::perf

@@ -1,0 +1,103 @@
+// Micro-benchmark harness: steady-clock timing with warmup/repeat/median
+// statistics, machine metadata, and a stable JSON report format
+// (BENCH_sim.json) that tools/perf_compare diffs against a checked-in
+// baseline to flag regressions in CI.
+//
+// Report schema (schema = 1):
+//   {
+//     "schema": 1,
+//     "suite": "<suite name>",
+//     "quick": true|false,
+//     "meta": { "compiler": "...", "build_type": "...",
+//               "hardware_concurrency": N, "os": "..." },
+//     "benchmarks": [
+//       { "name": "engine/mergesort/pdf", "metric": "Mrefs_per_sec",
+//         "value": 15.60, "work_items": 4959230, "reps": 5,
+//         "secs_min": 0.31, "secs_median": 0.32 }, ...
+//     ]
+//   }
+//
+// `value` is the headline number and is always higher-is-better
+// (throughput); it is computed from the *minimum* repetition time, which
+// is the most stable statistic on shared/noisy machines. The median is
+// recorded alongside for drift diagnosis.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cachesched::perf {
+
+/// Timing statistics over the measured repetitions (seconds).
+struct Stats {
+  double min = 0;
+  double median = 0;
+  double mean = 0;
+  double stddev = 0;
+  int reps = 0;
+};
+
+/// Runs `fn` `warmup` times untimed, then `reps` times timed (reps < 1 is
+/// treated as 1).
+Stats measure(int warmup, int reps, const std::function<void()>& fn);
+
+/// One benchmark's result.
+struct Benchmark {
+  std::string name;    // stable identifier, e.g. "engine/mergesort/pdf"
+  std::string metric;  // e.g. "Mrefs_per_sec"; always higher-is-better
+  double value = 0;    // headline value, from the min repetition time
+  uint64_t work_items = 0;  // items processed per repetition (refs, ...)
+  Stats stats;
+};
+
+/// Build/host metadata embedded in the report.
+struct MachineInfo {
+  std::string compiler;
+  std::string build_type;
+  unsigned hardware_concurrency = 0;
+  std::string os;
+};
+MachineInfo machine_info();
+
+/// A full suite report; serializes to the stable JSON schema above.
+struct Report {
+  int schema = 1;
+  std::string suite;
+  bool quick = false;
+  MachineInfo meta;
+  std::vector<Benchmark> benchmarks;
+
+  const Benchmark* find(const std::string& name) const;
+  std::string to_json() const;
+  void write(const std::string& path) const;
+};
+
+/// Parses a report previously produced by Report::to_json (or a compatible
+/// hand-edited baseline). Throws std::runtime_error on malformed input or
+/// an unsupported schema.
+Report parse_report(const std::string& json);
+
+/// Reads and parses a report file; throws on I/O or parse errors.
+Report load_report(const std::string& path);
+
+/// One benchmark's baseline-vs-current comparison.
+struct Delta {
+  std::string name;
+  std::string metric;
+  double base_value = 0;
+  double cur_value = 0;
+  double ratio = 0;  // cur / base; < 1 means slower
+  bool regression = false;
+  bool missing_in_current = false;
+  bool missing_in_baseline = false;
+};
+
+/// Matches benchmarks by name and flags every one whose value dropped by
+/// more than `threshold` (e.g. 0.10 = 10%) as a regression. Benchmarks
+/// present on only one side are reported but are not regressions.
+std::vector<Delta> compare_reports(const Report& baseline,
+                                   const Report& current, double threshold);
+
+}  // namespace cachesched::perf

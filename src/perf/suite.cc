@@ -1,0 +1,138 @@
+#include "perf/suite.h"
+
+#include <memory>
+
+#include "core/trace.h"
+#include "exp/sweep.h"
+#include "harness/apps.h"
+#include "profile/lru_stack.h"
+#include "sched/registry.h"
+#include "simarch/engine.h"
+
+namespace cachesched::perf {
+
+namespace {
+
+Benchmark bench_engine(const std::string& app, const std::string& sched,
+                       double scale, int warmup, int reps) {
+  const CmpConfig cfg = default_config(8).scaled(scale);
+  AppOptions opt;
+  opt.scale = scale;
+  const Workload w = make_app(app, cfg, opt);
+  uint64_t refs = 0;
+  const Stats stats = measure(warmup, reps, [&] {
+    CmpSimulator sim(cfg);
+    const auto s = make_scheduler(sched);
+    const SimResult r = sim.run(w.dag, *s);
+    refs = r.total_refs();
+  });
+  Benchmark b;
+  b.name = "engine/" + app + "/" + sched;
+  b.metric = "Mrefs_per_sec";
+  b.work_items = refs;
+  b.stats = stats;
+  b.value = static_cast<double>(refs) / stats.min / 1e6;
+  return b;
+}
+
+Benchmark bench_lru_stack(double scale, int warmup, int reps) {
+  const CmpConfig cfg = default_config(8).scaled(scale);
+  AppOptions opt;
+  opt.scale = scale;
+  const Workload w = make_app("mergesort", cfg, opt);
+  const int line_shift = 7;  // 128 B lines
+  uint64_t accesses = 0;
+  const Stats stats = measure(warmup, reps, [&] {
+    LruStackModel lru;
+    uint64_t n = 0;
+    for (TaskId t = 0; t < w.dag.num_tasks(); ++t) {
+      TraceCursor cur = w.dag.cursor(t);
+      for (TraceOp op = cur.next(); op.kind != TraceOp::kDone;
+           op = cur.next()) {
+        if (op.kind != TraceOp::kMem) continue;
+        lru.access(op.addr >> line_shift, t);
+        ++n;
+      }
+    }
+    accesses = n;
+  });
+  Benchmark b;
+  b.name = "profiler/lru_stack";
+  b.metric = "Maccesses_per_sec";
+  b.work_items = accesses;
+  b.stats = stats;
+  b.value = static_cast<double>(accesses) / stats.min / 1e6;
+  return b;
+}
+
+Benchmark bench_sweep(int workers, double scale, int warmup, int reps,
+                      const char* name) {
+  SweepSpec spec;
+  spec.apps = {"mergesort", "lu"};
+  spec.scheds = {"pdf", "ws"};
+  spec.core_counts = {2, 4};
+  spec.scales = {scale};
+  const std::vector<SweepJob> jobs = expand(spec);
+  SweepOptions opt;
+  opt.workers = workers;
+  const Stats stats = measure(warmup, reps, [&] { run_sweep(jobs, opt); });
+  Benchmark b;
+  b.name = name;
+  b.metric = "jobs_per_sec";
+  b.work_items = jobs.size();
+  b.stats = stats;
+  b.value = static_cast<double>(jobs.size()) / stats.min;
+  return b;
+}
+
+}  // namespace
+
+Report run_suite(const SuiteOptions& options) {
+  const bool quick = options.quick;
+  const int reps = options.reps > 0 ? options.reps : (quick ? 3 : 5);
+  const int warmup = 1;
+  const double engine_scale = quick ? 0.03125 : 0.125;
+  const double sweep_scale = quick ? 0.015625 : 0.03125;
+
+  std::vector<std::string> apps = options.apps;
+  if (apps.empty()) {
+    apps = quick ? std::vector<std::string>{"mergesort", "hashjoin", "lu"}
+                 : std::vector<std::string>{"mergesort", "quicksort",
+                                            "hashjoin", "lu", "matmul",
+                                            "cholesky", "heat"};
+  }
+
+  Report rep;
+  rep.suite = "cachesched-perf";
+  rep.quick = quick;
+  rep.meta = machine_info();
+
+  auto add = [&](Benchmark b) {
+    if (options.on_benchmark) options.on_benchmark(b);
+    rep.benchmarks.push_back(std::move(b));
+  };
+
+  for (const std::string& app : apps) {
+    for (const char* sched : {"pdf", "ws"}) {
+      add(bench_engine(app, sched, engine_scale, warmup, reps));
+    }
+  }
+  add(bench_lru_stack(quick ? 0.03125 : 0.0625, warmup, reps));
+
+  const Benchmark serial =
+      bench_sweep(1, sweep_scale, warmup, reps, "sweep/jobs_1");
+  const Benchmark parallel =
+      bench_sweep(0, sweep_scale, warmup, reps, "sweep/jobs_all");
+  Benchmark scaling;
+  scaling.name = "sweep/scaling_x";
+  scaling.metric = "speedup";
+  scaling.work_items = parallel.work_items;
+  scaling.stats = parallel.stats;
+  scaling.value = serial.value > 0 ? parallel.value / serial.value : 0;
+  add(serial);
+  add(parallel);
+  add(scaling);
+  return rep;
+}
+
+}  // namespace cachesched::perf

@@ -1,0 +1,38 @@
+// The fixed cachesched performance suite behind `cachesched_cli perf`:
+//
+//   engine/<app>/<sched>   — CmpSimulator throughput (Mrefs_per_sec) on
+//                            the fig2-style workloads and the rest of the
+//                            paper's apps, 8-core default configuration;
+//   profiler/lru_stack     — LruStackModel throughput (Maccesses_per_sec)
+//                            over the mergesort reference stream;
+//   sweep/jobs_1 & jobs_N  — experiment-sweep engine throughput
+//                            (jobs_per_sec) serial vs. all workers, plus
+//                            sweep/scaling_x (the ratio).
+//
+// The suite emits the stable JSON schema of perf.h (BENCH_sim.json);
+// tools/perf_compare diffs two such files.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "perf/perf.h"
+
+namespace cachesched::perf {
+
+struct SuiteOptions {
+  /// Quick mode: smaller inputs and fewer repetitions, for CI smoke runs.
+  bool quick = false;
+  /// Repetitions per benchmark; 0 = default (3 quick, 5 full).
+  int reps = 0;
+  /// Engine benchmark workloads; empty = the default set.
+  std::vector<std::string> apps;
+  /// Progress sink (one line per finished benchmark); null = silent.
+  std::function<void(const Benchmark&)> on_benchmark;
+};
+
+/// Runs the suite and returns the report.
+Report run_suite(const SuiteOptions& options);
+
+}  // namespace cachesched::perf

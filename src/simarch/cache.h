@@ -1,18 +1,52 @@
 // Set-associative cache with true-LRU replacement, used for both the
-// private L1s and the shared inclusive L2.
+// private L1s and the shared L2.
 //
 // Lines are identified by *line number* (byte address >> log2(line size));
 // the engine does the shift once. The set index is the low bits of the line
 // number (all paper configurations have power-of-two set counts; the
 // constructor enforces this).
 //
-// For the shared L2, each line additionally carries:
+// This is the simulator's hottest data structure (see src/perf/). Flat
+// contiguous arrays, entries that never move, and the LRU order held
+// intrusively as a per-set byte permutation:
+//
+//  * fp_    — one fingerprint byte per way (the line-number bits just
+//             above the set index). A lookup matches the probed line's
+//             byte against the set's fingerprint row eight ways at a time
+//             (portable SWAR), then verifies the 1-2 candidate tags — a
+//             fixed handful of ops regardless of associativity or LRU
+//             depth, where an ordered scan walks half the set on average
+//             (measured depth ~8 of 16 ways on the paper's workloads).
+//  * tags_  — full line numbers, position-stable; invalid ways hold
+//             kInvalidTag, which matches no real line. A fingerprint
+//             match at another set's way (rows are scanned in 8-byte
+//             chunks) can never verify: a tag equal to the probed line
+//             could only live in the probed line's own set.
+//  * meta_  — tag + presence mask + dirty bit per way, position-stable:
+//             pointers returned by probe/access/install stay valid for
+//             the cache's lifetime, and slot_of/entry_at let the engine
+//             memoize an entry and revalidate it later with one tag
+//             compare instead of a re-probe.
+//  * order_ — per-set permutation of [0, ways), MRU-first with the
+//             invalid ways on the tail: a touch rotates at most `ways`
+//             bytes, and the LRU victim (or the free way) for an install
+//             is read off the tail, so installs write in place and move
+//             no tags.
+//
+// The byte permutation caps the fast layout at 255 ways; wider caches
+// (the fully-associative configurations of tests and profilers) fall back
+// to per-way timestamps with a linear victim search — same true-LRU
+// behaviour, chosen automatically by associativity.
+//
+// For the shared L2, each line's meta carries:
 //  * a presence mask: which cores' L1s hold a copy (inclusion bookkeeping
 //    and write-invalidation), and
 //  * a dirty bit (writeback traffic accounting).
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <vector>
 
@@ -21,11 +55,9 @@ namespace cachesched {
 class SetAssocCache {
  public:
   struct Line {
-    uint64_t tag = 0;          // full line number (not truncated)
-    uint64_t last_used = 0;
-    uint32_t presence = 0;     // L2 only: bit per core with an L1 copy
+    uint64_t tag = 0;       // line number currently held by this slot
+    uint32_t presence = 0;  // L2 only: bit per core with an L1 copy
     bool dirty = false;
-    bool valid = false;
   };
 
   struct Evicted {
@@ -35,13 +67,33 @@ class SetAssocCache {
     uint32_t presence = 0;
   };
 
+  /// Never matches a real line: line numbers are byte addresses shifted
+  /// right by log2(line size), so their top bits are always zero.
+  static constexpr uint64_t kInvalidTag = ~uint64_t{0};
+
   SetAssocCache(uint64_t num_sets, int ways)
-      : sets_(num_sets), ways_(ways), lines_(num_sets * ways) {
+      : sets_(num_sets),
+        ways_(ways),
+        // fp_/order_ rows are read and tags_ verified in 8-byte chunks;
+        // pad each array so the last set's chunk can over-read safely
+        // (padding tags hold kInvalidTag and so never verify).
+        tags_(num_sets * ways + 8, kInvalidTag),
+        meta_(num_sets * ways),
+        fp_(num_sets * ways + 8, 0),
+        order_(num_sets * ways + 8, 0),
+        valid_cnt_(num_sets, 0) {
     if (num_sets == 0 || (num_sets & (num_sets - 1)) != 0) {
       throw std::invalid_argument("set count must be a power of two");
     }
     if (ways <= 0) throw std::invalid_argument("ways must be positive");
     mask_ = num_sets - 1;
+    set_shift_ = std::countr_zero(num_sets);
+    wide_ = ways > 255;
+    if (wide_) {
+      stamps_.assign(num_sets * ways, 0);
+    } else {
+      reset_order();
+    }
   }
 
   uint64_t num_sets() const { return sets_; }
@@ -49,78 +101,261 @@ class SetAssocCache {
   uint64_t capacity_lines() const { return sets_ * ways_; }
 
   /// Probes for `line`; returns the entry or nullptr. Does not touch LRU.
+  /// The pointer stays valid for the cache's lifetime; the entry holds
+  /// `line` until it is evicted or invalidated (check `tag`).
   Line* probe(uint64_t line) {
-    Line* set = &lines_[(line & mask_) * ways_];
-    for (int w = 0; w < ways_; ++w) {
-      if (set[w].valid && set[w].tag == line) return &set[w];
-    }
-    return nullptr;
+    const size_t s = (line & mask_) * ways_;
+    const int w = find_way(s, line);
+    return w >= 0 ? &meta_[s + w] : nullptr;
   }
   const Line* probe(uint64_t line) const {
     return const_cast<SetAssocCache*>(this)->probe(line);
   }
 
-  /// Marks `entry` most-recently-used.
-  void touch(Line* entry) { entry->last_used = ++stamp_; }
+  /// Probes for `line` and, on a hit, marks it most-recently-used; returns
+  /// the stable entry pointer or nullptr.
+  Line* access(uint64_t line) {
+    const size_t s = (line & mask_) * ways_;
+    const int w = find_way(s, line);
+    if (w < 0) return nullptr;
+    make_mru(s, w);
+    return &meta_[s + w];
+  }
 
-  /// Installs `line`, evicting the LRU way if the set is full. The caller
-  /// handles the returned eviction (writeback, back-invalidation). The new
-  /// entry is returned via `out`.
+  /// Probes for `line` and marks it most-recently-used on a hit, or
+  /// installs it on a miss (one lookup, no re-probe) — the shared-L2 path
+  /// of the simulator, which always fills on a miss. Returns whether the
+  /// line hit; `*out` is the stable entry either way; `*ev` is the
+  /// eviction to handle when the install had to victimize the LRU way.
+  bool access_or_install(uint64_t line, bool dirty_on_install, Line** out,
+                         Evicted* ev) {
+    const size_t s = (line & mask_) * ways_;
+    const int w = find_way(s, line);
+    if (w >= 0) {
+      make_mru(s, w);
+      *out = &meta_[s + w];
+      return true;
+    }
+    *ev = install_impl(s, line, dirty_on_install, out);
+    return false;
+  }
+
+  /// Marks `entry` most-recently-used; returns `entry` (stable).
+  Line* touch(Line* entry) {
+    const size_t idx = static_cast<size_t>(entry - meta_.data());
+    make_mru(idx - idx % ways_, static_cast<int>(idx % ways_));
+    return entry;
+  }
+
+  /// Installs `line` as MRU, reusing an invalid way if the set has one and
+  /// evicting the LRU way otherwise. The caller handles the returned
+  /// eviction (writeback, back-invalidation). The new entry is returned
+  /// via `out`.
   Evicted install(uint64_t line, bool dirty, Line** out) {
-    Line* set = &lines_[(line & mask_) * ways_];
-    Line* victim = &set[0];
-    for (int w = 0; w < ways_; ++w) {
-      if (!set[w].valid) {
-        victim = &set[w];
-        break;
-      }
-      if (set[w].last_used < victim->last_used) victim = &set[w];
-    }
-    Evicted ev;
-    if (victim->valid) {
-      ev.valid = true;
-      ev.line = victim->tag;
-      ev.dirty = victim->dirty;
-      ev.presence = victim->presence;
-    }
-    victim->tag = line;
-    victim->valid = true;
-    victim->dirty = dirty;
-    victim->presence = 0;
-    victim->last_used = ++stamp_;
-    if (out) *out = victim;
+    Line* entry;
+    const Evicted ev = install_impl((line & mask_) * ways_, line, dirty,
+                                    &entry);
+    if (out) *out = entry;
     return ev;
   }
 
   /// Invalidates `line` if present; returns whether it was dirty.
   bool invalidate(uint64_t line) {
-    Line* e = probe(line);
-    if (!e) return false;
-    const bool dirty = e->dirty;
-    e->valid = false;
-    e->dirty = false;
-    e->presence = 0;
+    const uint64_t set = line & mask_;
+    const size_t s = set * ways_;
+    const int w = find_way(s, line);
+    if (w < 0) return false;
+    const bool dirty = meta_[s + w].dirty;
+    tags_[s + w] = kInvalidTag;
+    meta_[s + w] = Line{};
+    const uint32_t n = valid_cnt_[set];
+    if (!wide_) {
+      // Pull the way out of the valid prefix onto the free tail.
+      uint8_t* order = &order_[s];
+      const int p = find_order_pos(s, static_cast<uint8_t>(w));
+      std::memmove(order + p, order + p + 1, static_cast<size_t>(n - 1 - p));
+      order[n - 1] = static_cast<uint8_t>(w);
+    }
+    valid_cnt_[set] = n - 1;
     return dirty;
   }
 
-  /// Number of valid lines (test/diagnostic helper; O(capacity)).
+  /// Dense index of an entry returned by probe/access/install, in
+  /// [0, capacity_lines()); stable for the cache's lifetime. With
+  /// entry_at, lets a caller memoize an entry and later check whether it
+  /// still holds a line (compare `tag`) without re-probing.
+  uint32_t slot_of(const Line* entry) const {
+    return static_cast<uint32_t>(entry - meta_.data());
+  }
+
+  /// The entry at a slot_of index; always a valid pointer.
+  Line* entry_at(uint32_t slot) { return &meta_[slot]; }
+
+  /// Number of valid lines (test/diagnostic helper; O(sets)).
   uint64_t valid_lines() const {
     uint64_t n = 0;
-    for (const Line& l : lines_) n += l.valid;
+    for (uint32_t c : valid_cnt_) n += c;
     return n;
   }
 
   void clear() {
-    for (Line& l : lines_) l = Line{};
-    stamp_ = 0;
+    for (uint64_t& t : tags_) t = kInvalidTag;
+    for (Line& l : meta_) l = Line{};
+    std::memset(fp_.data(), 0, fp_.size());
+    for (uint32_t& c : valid_cnt_) c = 0;
+    if (wide_) {
+      stamps_.assign(stamps_.size(), 0);
+      stamp_ = 0;
+    } else {
+      reset_order();
+    }
   }
 
  private:
+  static constexpr uint64_t kOnes = 0x0101010101010101ULL;
+
+  /// 0x80 in every byte of `x` that is zero (classic SWAR zero-byte test).
+  static uint64_t zero_byte_mask(uint64_t x) {
+    return (x - kOnes) & ~x & 0x8080808080808080ULL;
+  }
+
+  static uint64_t load8(const uint8_t* p) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+  }
+
+  /// Byte of the line number just above the set index, so lines that are
+  /// `num_sets` apart — set neighbours under streaming access — get
+  /// distinct consecutive fingerprints.
+  uint8_t fingerprint(uint64_t line) const {
+    return static_cast<uint8_t>(line >> set_shift_);
+  }
+
+  /// Way holding `line` in the set at base index `s`, or -1. Matches the
+  /// fingerprint row in 8-byte chunks and verifies candidates against the
+  /// full tags; chunk over-reads are harmless (see file comment).
+  int find_way(size_t s, uint64_t line) const {
+    const uint64_t probe_row = kOnes * fingerprint(line);
+    if (ways_ <= 8) {  // one chunk covers the set (every L1 configuration)
+      uint64_t m = zero_byte_mask(load8(&fp_[s]) ^ probe_row);
+      while (m != 0) {
+        const int w = std::countr_zero(m) / 8;
+        if (tags_[s + w] == line) return w;
+        m &= m - 1;
+      }
+      return -1;
+    }
+    for (int w0 = 0; w0 < ways_; w0 += 8) {
+      uint64_t m = zero_byte_mask(load8(&fp_[s + w0]) ^ probe_row);
+      while (m != 0) {
+        const int w = w0 + std::countr_zero(m) / 8;
+        if (tags_[s + w] == line) return w;
+        m &= m - 1;
+      }
+    }
+    return -1;
+  }
+
+  /// Position of way `w` in the order row at base `s`; the way must be in
+  /// the set (spurious matches from chunk over-read lie past it).
+  int find_order_pos(size_t s, uint8_t w) const {
+    const uint64_t probe_row = kOnes * w;
+    if (ways_ <= 8) {
+      return std::countr_zero(zero_byte_mask(load8(&order_[s]) ^ probe_row)) /
+             8;
+    }
+    for (int p0 = 0;; p0 += 8) {
+      const uint64_t m = zero_byte_mask(load8(&order_[s + p0]) ^ probe_row);
+      if (m != 0) return p0 + std::countr_zero(m) / 8;
+    }
+  }
+
+  /// Marks way `w` of the set at base `s` most-recently-used.
+  void make_mru(size_t s, int w) {
+    if (wide_) {
+      stamps_[s + w] = ++stamp_;
+      return;
+    }
+    uint8_t* order = &order_[s];
+    if (order[0] == w) return;  // already MRU (the common repeat-hit case)
+    const int p = find_order_pos(s, static_cast<uint8_t>(w));
+    std::memmove(order + 1, order, static_cast<size_t>(p));
+    order[0] = static_cast<uint8_t>(w);
+  }
+
+  Evicted install_impl(size_t s, uint64_t line, bool dirty, Line** out) {
+    const uint64_t set = s / ways_;
+    Evicted ev;
+    int w;
+    if (wide_) {
+      w = -1;
+      if (valid_cnt_[set] < static_cast<uint32_t>(ways_)) {
+        for (int i = 0; i < ways_; ++i) {
+          if (tags_[s + i] == kInvalidTag) {
+            w = i;
+            break;
+          }
+        }
+        ++valid_cnt_[set];
+      } else {
+        uint64_t oldest = UINT64_MAX;
+        for (int i = 0; i < ways_; ++i) {
+          if (stamps_[s + i] < oldest) {
+            oldest = stamps_[s + i];
+            w = i;
+          }
+        }
+        ev.valid = true;
+        ev.line = tags_[s + w];
+        ev.dirty = meta_[s + w].dirty;
+        ev.presence = meta_[s + w].presence;
+      }
+      stamps_[s + w] = ++stamp_;
+    } else {
+      uint8_t* order = &order_[s];
+      int n = static_cast<int>(valid_cnt_[set]);
+      if (n == ways_) {
+        w = order[ways_ - 1];  // LRU victim
+        ev.valid = true;
+        ev.line = tags_[s + w];
+        ev.dirty = meta_[s + w].dirty;
+        ev.presence = meta_[s + w].presence;
+        n = ways_ - 1;
+      } else {
+        w = order[n];  // first free way (tail of the permutation)
+        valid_cnt_[set] = static_cast<uint32_t>(n + 1);
+      }
+      std::memmove(order + 1, order, static_cast<size_t>(n));
+      order[0] = static_cast<uint8_t>(w);
+    }
+    tags_[s + w] = line;
+    fp_[s + w] = fingerprint(line);
+    meta_[s + w] = Line{line, 0, dirty};
+    *out = &meta_[s + w];
+    return ev;
+  }
+
+  void reset_order() {
+    for (uint64_t s = 0; s < sets_; ++s) {
+      for (int w = 0; w < ways_; ++w) {
+        order_[s * ways_ + w] = static_cast<uint8_t>(w);
+      }
+    }
+  }
+
   uint64_t sets_;
   int ways_;
   uint64_t mask_ = 0;
-  uint64_t stamp_ = 0;
-  std::vector<Line> lines_;
+  int set_shift_ = 0;
+  bool wide_ = false;               // > 255 ways: timestamp LRU fallback
+  uint64_t stamp_ = 0;              // wide mode recency counter
+  std::vector<uint64_t> tags_;      // position-stable line numbers
+  std::vector<Line> meta_;          // position-stable tag/presence/dirty
+  std::vector<uint8_t> fp_;         // fingerprint byte per way
+  std::vector<uint8_t> order_;      // per-set way permutation, MRU-first
+  std::vector<uint64_t> stamps_;    // wide mode: last-use stamp per way
+  std::vector<uint32_t> valid_cnt_; // valid ways per set
 };
 
 }  // namespace cachesched

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
 #include <cstdlib>
-#include <queue>
 #include <stdexcept>
+
+#include "sched/central_fifo_scheduler.h"
+#include "sched/pdf_scheduler.h"
+#include "sched/ws_scheduler.h"
 
 namespace cachesched {
 
@@ -19,68 +21,92 @@ double SimResult::core_utilization() const {
 
 namespace {
 
-struct Event {
-  uint64_t time;
-  int core;
-};
-struct EventAfter {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    return a.core > b.core;
-  }
+/// One expanded trace operation in a core's run buffer.
+struct BufOp {
+  uint64_t v;      // kMem: line number; compute: instruction count
+  uint32_t instr;  // kMem: instructions charged per reference; compute: 0
+  bool is_write;
 };
 
-}  // namespace
+/// Ops buffered per core between refills. Large enough to amortize the
+/// per-block setup of a refill over many references, small enough to stay
+/// in the host L1 (2 KB per core).
+inline constexpr int kBufOps = 128;
 
-struct CmpSimulator::Core {
+struct CoreState {
   enum State : uint8_t { kIdle, kRunning, kPendingL2, kCompleting };
   State state = kIdle;
   TaskId task = kNoTask;
-  TraceCursor cursor;
   uint64_t time = 0;
   uint64_t busy = 0;
+  // Trace expansion position within the current task's RefBlocks; advanced
+  // by refill(), which expands ops ahead of the simulation (expansion is a
+  // pure function of the blocks, so running ahead cannot diverge). The
+  // expansion mirrors TraceCursor::next() exactly — the profilers replay
+  // the same streams through TraceCursor, and tests/golden_sim_test.cc
+  // pins the engine's results against pre-optimization fixtures.
+  const RefBlock* blocks = nullptr;
+  uint32_t num_blocks = 0;
+  uint32_t bi = 0;             // block index
+  uint32_t ri = 0;             // reference index within block
+  uint32_t em[3] = {0, 0, 0};  // per-stream emitted lines (kInterleave)
+  // Run buffer of expanded ops (consumed [head, len)).
+  int head = 0;
+  int len = 0;
   // Pending shared-L2 access.
   uint64_t pend_line = 0;
   uint32_t pend_instr = 0;
   bool pend_write = false;
+  // Last: the buffer is bulk-filled and sequentially consumed; keeping it
+  // out of the way lets the scalar state above share cache lines.
+  BufOp buf[kBufOps];
 };
 
-CmpSimulator::CmpSimulator(const CmpConfig& config) : cfg_(config) {
-  if (cfg_.cores < 1 || cfg_.cores > 32) {
-    throw std::invalid_argument("1..32 cores supported");
-  }
-  if ((cfg_.line_bytes & (cfg_.line_bytes - 1)) != 0) {
-    throw std::invalid_argument("line size must be a power of two");
-  }
-}
-
-SimResult CmpSimulator::run(const TaskDag& dag, Scheduler& sched) {
-  const int P = cfg_.cores;
-  const int line_shift = std::countr_zero(static_cast<unsigned>(cfg_.line_bytes));
+// The simulation loop, templated on the concrete scheduler type so that
+// the per-task enqueue/acquire calls on the dispatch path are direct
+// (devirtualized, inlinable) for the registered schedulers; run()
+// dispatches by dynamic_cast and falls back to the virtual interface for
+// user-supplied schedulers.
+//
+// There is no materialized event queue: every non-idle core has exactly
+// one pending event, at its own `time`, so the next event is the non-idle
+// core with the smallest (time, id) — one P-element scan per event
+// (P <= 32) instead of heap churn on every shared-L2 access. The same
+// scan also yields the earliest event of any *other* core, which bounds
+// the dispatched core's local run-ahead (quantum), so the hot path never
+// rescans.
+template <class S>
+SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
+                   const TaskDag& dag, S& sched) {
+  const int P = cfg.cores;
+  const int line_shift =
+      std::countr_zero(static_cast<unsigned>(cfg.line_bytes));
 
   SimResult res;
   res.scheduler = sched.name();
-  res.config = cfg_.name;
+  res.config = cfg.name;
   res.cores = P;
   res.core_busy_cycles.assign(P, 0);
-  if (collect_task_stats_) {
+  if (collect_stats) {
     res.task_l2_misses.assign(dag.num_tasks(), 0);
     res.task_refs.assign(dag.num_tasks(), 0);
   }
 
   std::vector<SetAssocCache> l1;
   l1.reserve(P);
-  for (int i = 0; i < P; ++i) l1.emplace_back(cfg_.l1_sets(), cfg_.l1_ways);
-  SetAssocCache l2(cfg_.l2_sets(), cfg_.l2_ways);
-  MemChannel mem(cfg_.mem_latency_cycles, cfg_.mem_service_cycles);
+  for (int i = 0; i < P; ++i) l1.emplace_back(cfg.l1_sets(), cfg.l1_ways);
+  SetAssocCache l2(cfg.l2_sets(), cfg.l2_ways);
+  MemChannel mem(cfg.mem_latency_cycles, cfg.mem_service_cycles);
 
-  std::vector<Core> cores(P);
+  std::vector<CoreState> cores(P);
+  // Event times, densely scanned by the main loop: core i's pending event
+  // time, or UINT64_MAX when idle. Kept in sync with cores[i].state/time.
+  std::vector<uint64_t> evt(P, UINT64_MAX);
   std::vector<uint32_t> indeg(dag.num_tasks());
   for (TaskId t = 0; t < dag.num_tasks(); ++t) {
     indeg[t] = dag.task(t).num_parents;
   }
 
-  std::priority_queue<Event, std::vector<Event>, EventAfter> pq;
   size_t completed = 0;
   uint64_t end_time = 0;
   std::vector<TaskId> ready_buf;
@@ -89,72 +115,260 @@ SimResult CmpSimulator::run(const TaskDag& dag, Scheduler& sched) {
   sched.enqueue_ready(0, dag.roots());
 
   auto start_task = [&](int c, TaskId t, uint64_t now) {
-    Core& core = cores[c];
+    CoreState& core = cores[c];
     core.task = t;
-    core.cursor = dag.cursor(t);
-    core.time = std::max(core.time, now) + cfg_.task_dispatch_cycles;
-    core.busy += cfg_.task_dispatch_cycles;
-    core.state = Core::kRunning;
-    pq.push({core.time, c});
+    const std::span<const RefBlock> blocks = dag.blocks(t);
+    core.blocks = blocks.data();
+    core.num_blocks = static_cast<uint32_t>(blocks.size());
+    core.bi = 0;
+    core.ri = 0;
+    core.em[0] = core.em[1] = core.em[2] = 0;
+    core.head = 0;
+    core.len = 0;
+    core.time = std::max(core.time, now) + cfg.task_dispatch_cycles;
+    core.busy += cfg.task_dispatch_cycles;
+    core.state = CoreState::kRunning;
+    evt[c] = core.time;
   };
 
-  // Processes the core's trace locally until it needs the shared L2, its
-  // task completes, or it runs `quantum_` cycles past the earliest pending
-  // global event (then it yields and re-queues itself).
-  auto run_local = [&](int c) {
-    Core& core = cores[c];
-    SetAssocCache& cache = l1[c];
-    const uint64_t limit =
-        pq.empty() ? UINT64_MAX
-                   : (pq.top().time > UINT64_MAX - quantum_
-                          ? UINT64_MAX
-                          : pq.top().time + quantum_);
-    for (;;) {
-      if (core.time > limit) {  // yield; still kRunning
-        pq.push({core.time, c});
-        return;
-      }
-      TraceOp op = core.cursor.next();
-      switch (op.kind) {
-        case TraceOp::kDone:
-          core.state = Core::kCompleting;
-          pq.push({core.time, c});
-          return;
-        case TraceOp::kCompute:
-          core.time += op.instr;
-          core.busy += op.instr;
-          res.instructions += op.instr;
+  // Expands the next batch of trace ops into core's run buffer, advancing
+  // the expansion position; returns the number of ops buffered (0 = task
+  // trace exhausted). Expansion never looks at the caches or the clock, so
+  // running ahead of the simulation is safe; per-block constants (stream
+  // interleave error terms, the kRandom reciprocal) are set up once per
+  // refill and amortized over the batch.
+  auto refill = [line_shift](CoreState& core) {
+    BufOp* const buf = core.buf;
+    int len = 0;
+    const RefBlock* const blocks = core.blocks;
+    const uint32_t nb = core.num_blocks;
+    uint32_t bi = core.bi;
+    uint32_t ri = core.ri;
+    while (len < kBufOps && bi < nb) {
+      const RefBlock& b = blocks[bi];
+      switch (b.kind) {
+        case RefKind::kCompute:
+          ++bi;
+          ri = 0;
+          if (b.instr != 0) buf[len++] = BufOp{b.instr, 0, false};
           break;
-        case TraceOp::kMem: {
-          res.instructions += op.instr;
-          if (collect_task_stats_) ++res.task_refs[core.task];
-          const uint64_t line = op.addr >> line_shift;
-          if (SetAssocCache::Line* e = cache.probe(line)) {
-            cache.touch(e);
-            if (op.is_write) e->dirty = true;
-            ++res.l1_hits;
-            core.time += op.instr;
-            core.busy += op.instr;
+        case RefKind::kStride: {
+          const uint64_t base = b.base;
+          const int64_t stride = b.stride;
+          const uint32_t ipr = b.instr_per_ref;
+          const bool wr = b.is_write;
+          uint32_t i = ri;
+          const uint32_t end =
+              std::min(b.count, i + static_cast<uint32_t>(kBufOps - len));
+          for (; i < end; ++i) {
+            const uint64_t addr =
+                base + static_cast<uint64_t>(static_cast<int64_t>(i) * stride);
+            buf[len++] = BufOp{addr >> line_shift, ipr, wr};
+          }
+          if (i == b.count) {
+            ++bi;
+            ri = 0;
           } else {
-            core.state = Core::kPendingL2;
-            core.pend_line = line;
-            core.pend_write = op.is_write;
-            core.pend_instr = op.instr;
-            pq.push({core.time, c});
-            return;
+            ri = i;
+          }
+          break;
+        }
+        case RefKind::kRandom: {
+          const uint64_t base = b.base;
+          const uint64_t seed = b.seed;
+          const uint64_t region = b.region_len;
+          const uint32_t ipr = b.instr_per_ref;
+          const bool wr = b.is_write;
+          // h % region with the division strength-reduced to a multiply:
+          // with magic = floor(2^64/region), q = mulhi(h, magic) is either
+          // floor(h/region) or one less (h*magic/2^64 > h/region - 1 since
+          // h < 2^64), so one conditional subtract makes the remainder
+          // exact for every h.
+          const uint64_t magic =
+              region > 1 ? static_cast<uint64_t>(
+                               (static_cast<unsigned __int128>(1) << 64) /
+                               region)
+                         : 0;
+          uint32_t i = ri;
+          const uint32_t end =
+              std::min(b.count, i + static_cast<uint32_t>(kBufOps - len));
+          for (; i < end; ++i) {
+            uint64_t rem = 0;
+            if (region > 1) {
+              const uint64_t h = mix64(seed + i);
+              const uint64_t q = static_cast<uint64_t>(
+                  (static_cast<unsigned __int128>(h) * magic) >> 64);
+              rem = h - q * region;
+              if (rem >= region) rem -= region;
+            }
+            buf[len++] = BufOp{(base + rem) >> line_shift, ipr, wr};
+          }
+          if (i == b.count) {
+            ++bi;
+            ri = 0;
+          } else {
+            ri = i;
+          }
+          break;
+        }
+        case RefKind::kInterleave: {
+          // Proportional schedule: stream s should have emitted
+          // floor((i+1) * lines_s / total) lines after step i; each step
+          // emits the first stream running behind that target. Instead of
+          // evaluating the division per step, keep the Bresenham-style
+          // running products prog_s = (i+1)*lines_s and goal_s =
+          // (em_s+1)*n; "behind target" is prog_s >= goal_s, prog gains
+          // lines_s per step and goal gains n per emission. Both products
+          // are < 2^64 (uint32 factors), so uint64 arithmetic is exact.
+          const uint32_t n = b.count;
+          const uint32_t ipr = b.instr_per_ref;
+          const int ns = b.num_streams;
+          const uint32_t lb = b.line_bytes;
+          uint32_t i = ri;
+          uint64_t prog[kMaxStreams];
+          uint64_t goal[kMaxStreams];
+          uint64_t addr_next[kMaxStreams];
+          for (int s = 0; s < ns; ++s) {
+            prog[s] = (static_cast<uint64_t>(i) + 1) * b.streams[s].lines;
+            goal[s] = (static_cast<uint64_t>(core.em[s]) + 1) * n;
+            addr_next[s] =
+                b.streams[s].base + static_cast<uint64_t>(core.em[s]) * lb;
+          }
+          const uint32_t end =
+              std::min(n, i + static_cast<uint32_t>(kBufOps - len));
+          for (; i < end; ++i) {
+            int pick = -1;
+            for (int s = 0; s < ns; ++s) {
+              if (prog[s] >= goal[s]) {
+                pick = s;
+                break;
+              }
+            }
+            if (pick < 0) {  // floor rounding gap: emit any unfinished stream
+              for (int s = 0; s < ns; ++s) {
+                if (core.em[s] < b.streams[s].lines) {
+                  pick = s;
+                  break;
+                }
+              }
+            }
+            buf[len++] = BufOp{addr_next[pick] >> line_shift, ipr,
+                               b.streams[pick].is_write};
+            ++core.em[pick];
+            goal[pick] += n;
+            addr_next[pick] += lb;
+            for (int s = 0; s < ns; ++s) prog[s] += b.streams[s].lines;
+          }
+          if (i == n) {
+            ++bi;
+            ri = 0;
+            core.em[0] = core.em[1] = core.em[2] = 0;
+          } else {
+            ri = i;
           }
           break;
         }
       }
     }
+    core.bi = bi;
+    core.ri = ri;
+    core.head = 0;
+    core.len = len;
+    return len;
+  };
+
+  // Processes core c's buffered trace ops until it needs the shared L2,
+  // its task completes, or it runs `quantum` cycles past `other_min` —
+  // the earliest pending event of another core (then it yields; its own
+  // `time` is its event). Statistics accumulate in locals and state is
+  // written back once on exit. The yield check sits before every op,
+  // exactly where the event-queue formulation had it.
+  auto run_local = [&](int c, uint64_t other_min) {
+    CoreState& core = cores[c];
+    SetAssocCache& cache = l1[c];
+    const uint64_t limit =
+        other_min > UINT64_MAX - quantum ? UINT64_MAX : other_min + quantum;
+
+    int head = core.head;
+    int len = core.len;
+    uint64_t time = core.time;
+    uint64_t busy = 0;
+    uint64_t instr = 0;
+    uint64_t l1_hits = 0;
+    uint32_t refs = 0;
+
+    enum : int { kYield, kDone, kMiss } exit_kind;
+
+    for (;;) {
+      if (time > limit) {
+        exit_kind = kYield;
+        break;
+      }
+      if (head == len) {
+        len = refill(core);
+        if (len == 0) {
+          head = 0;
+          exit_kind = kDone;
+          break;
+        }
+        head = 0;
+      }
+      const BufOp& op = core.buf[head];
+      ++head;
+      if (op.instr == 0) {  // compute
+        time += op.v;
+        busy += op.v;
+        instr += op.v;
+        continue;
+      }
+      ++refs;
+      instr += op.instr;
+      if (SetAssocCache::Line* e = cache.access(op.v)) {
+        if (op.is_write) e->dirty = true;
+        ++l1_hits;
+        time += op.instr;
+        busy += op.instr;
+      } else {
+        core.pend_line = op.v;
+        core.pend_write = op.is_write;
+        core.pend_instr = op.instr;
+        exit_kind = kMiss;
+        break;
+      }
+    }
+    core.head = head;
+    core.time = time;
+    evt[c] = time;
+    core.busy += busy;
+    res.instructions += instr;
+    res.l1_hits += l1_hits;
+    if (collect_stats) res.task_refs[core.task] += refs;
+    switch (exit_kind) {
+      case kYield:
+        break;  // still kRunning; core.time is its re-queue event
+      case kDone:
+        core.state = CoreState::kCompleting;
+        break;
+      case kMiss:
+        core.state = CoreState::kPendingL2;
+        break;
+    }
   };
 
   // Fills core c's L1 with `line`, maintaining L2 inclusion bookkeeping.
-  auto l1_fill = [&](int c, uint64_t line, bool write, uint64_t now) {
-    SetAssocCache::Line* unused;
-    const auto ev = l1[c].install(line, write, &unused);
+  // `l2e` is the L2 entry that serves the fill. Its slot index rides in
+  // the L1 entry's otherwise-unused presence field (presence is an
+  // L2-only concept), so when the victim is evicted later, a tag compare
+  // against the memoized slot usually replaces the L2 re-probe.
+  auto l1_fill = [&](int c, uint64_t line, bool write, uint64_t now,
+                     SetAssocCache::Line* l2e) {
+    SetAssocCache::Line* installed;
+    const auto ev = l1[c].install(line, write, &installed);
+    installed->presence = l2.slot_of(l2e);
     if (ev.valid) {
-      if (SetAssocCache::Line* l2v = l2.probe(ev.line)) {
+      SetAssocCache::Line* l2v = l2.entry_at(ev.presence);
+      if (l2v->tag != ev.line) l2v = l2.probe(ev.line);
+      if (l2v != nullptr) {
         l2v->presence &= ~(1u << c);
         if (ev.dirty) l2v->dirty = true;
       } else if (ev.dirty) {
@@ -166,26 +380,29 @@ SimResult CmpSimulator::run(const TaskDag& dag, Scheduler& sched) {
   };
 
   // Shared-L2 access of core c's pending reference at global time t.
-  auto do_l2_access = [&](int c, uint64_t t) {
-    Core& core = cores[c];
+  // `other_min` is the earliest pending event of another core, unchanged
+  // by this access, forwarded to the local run that follows it.
+  auto do_l2_access = [&](int c, uint64_t t, uint64_t other_min) {
+    CoreState& core = cores[c];
     const uint64_t line = core.pend_line;
     const uint32_t mybit = 1u << c;
     uint64_t lat;
-    if (SetAssocCache::Line* e = l2.probe(line)) {
-      l2.touch(e);
-      if (cfg_.l2_banks > 0) {
+    SetAssocCache::Line* e;
+    SetAssocCache::Evicted evd;
+    if (l2.access_or_install(line, core.pend_write, &e, &evd)) {
+      if (cfg.l2_banks > 0) {
         // Distributed L2: local-bank latency plus ring hops to the line's
         // home bank (address-interleaved).
-        const int banks = cfg_.l2_banks;
+        const int banks = cfg.l2_banks;
         const int home = static_cast<int>(line % static_cast<uint64_t>(banks));
-        const int slot = static_cast<int>(
-            static_cast<int64_t>(c) * banks / cfg_.cores);
+        const int slot =
+            static_cast<int>(static_cast<int64_t>(c) * banks / cfg.cores);
         const int d = std::abs(home - slot);
         const int hops = std::min(d, banks - d);
-        lat = cfg_.l2_local_hit_cycles +
-              static_cast<uint64_t>(hops) * cfg_.bank_hop_cycles;
+        lat = cfg.l2_local_hit_cycles +
+              static_cast<uint64_t>(hops) * cfg.bank_hop_cycles;
       } else {
-        lat = cfg_.l2_hit_cycles;
+        lat = cfg.l2_hit_cycles;
       }
       ++res.l2_hits;
       if (core.pend_write) {
@@ -202,27 +419,25 @@ SimResult CmpSimulator::run(const TaskDag& dag, Scheduler& sched) {
       e->presence |= mybit;
     } else {
       ++res.l2_misses;
-      if (collect_task_stats_) ++res.task_l2_misses[core.task];
+      if (collect_stats) ++res.task_l2_misses[core.task];
       const uint64_t ready = mem.request(t);
       lat = ready - t;
       res.mem_stall_cycles += lat;
-      SetAssocCache::Line* ne;
-      const auto ev = l2.install(line, core.pend_write, &ne);
-      ne->presence = mybit;
+      e->presence = mybit;
       // Non-inclusive L2: an eviction does not back-invalidate L1 copies
       // (see header comment); a dirty victim is written off-chip.
-      if (ev.valid && ev.dirty) mem.post_writeback(t);
+      if (evd.valid && evd.dirty) mem.post_writeback(t);
     }
-    l1_fill(c, line, core.pend_write, t);
+    l1_fill(c, line, core.pend_write, t, e);
     const uint64_t cost = (core.pend_instr - 1) + lat;
     core.time = t + cost;
     core.busy += cost;
-    core.state = Core::kRunning;
-    run_local(c);
+    core.state = CoreState::kRunning;
+    run_local(c, other_min);
   };
 
   auto do_complete = [&](int c, uint64_t t) {
-    Core& core = cores[c];
+    CoreState& core = cores[c];
     ++res.tasks_executed;
     ++completed;
     end_time = std::max(end_time, t);
@@ -231,14 +446,15 @@ SimResult CmpSimulator::run(const TaskDag& dag, Scheduler& sched) {
       if (--indeg[ch] == 0) ready_buf.push_back(ch);
     }
     core.task = kNoTask;
-    core.state = Core::kIdle;
+    core.state = CoreState::kIdle;
+    evt[c] = UINT64_MAX;
     if (!ready_buf.empty()) sched.enqueue_ready(c, ready_buf);
     // Greedy dispatch: the completing core first (it owns the hot deque in
     // WS), then every idle core in id order. acquire() failure means no
     // work exists anywhere, so stopping at the first failure is safe.
     for (int step = 0; step < P + 1; ++step) {
       const int i = (step == 0) ? c : step - 1;
-      if (cores[i].state != Core::kIdle) continue;
+      if (cores[i].state != CoreState::kIdle) continue;
       const TaskId u = sched.acquire(i);
       if (u == kNoTask) break;
       start_task(i, u, t);
@@ -252,28 +468,44 @@ SimResult CmpSimulator::run(const TaskDag& dag, Scheduler& sched) {
   }
 
   while (completed < dag.num_tasks()) {
-    if (pq.empty()) {
+    // One scan finds the next event — the non-idle core with the smallest
+    // (time, id) — and the earliest event of any other core.
+    int c = -1;
+    uint64_t t1 = UINT64_MAX;  // picked core's event time
+    uint64_t t2 = UINT64_MAX;  // earliest event among the other cores
+    for (int i = 0; i < P; ++i) {
+      const uint64_t ti = evt[i];
+      if (ti < t1) {
+        t2 = t1;
+        t1 = ti;
+        c = i;
+      } else if (ti < t2) {
+        t2 = ti;
+      }
+    }
+    if (c < 0) {
       throw std::runtime_error(
           "simulation deadlock: tasks remain but no core is active "
           "(unreachable tasks in DAG?)");
     }
-    const Event evt = pq.top();
-    pq.pop();
-    Core& core = cores[evt.core];
-    assert(core.time == evt.time);
-    switch (core.state) {
-      case Core::kRunning:
-        run_local(evt.core);
+    switch (cores[c].state) {
+      case CoreState::kRunning:
+        run_local(c, t2);
         break;
-      case Core::kPendingL2:
-        do_l2_access(evt.core, evt.time);
+      case CoreState::kPendingL2:
+        do_l2_access(c, t1, t2);
         break;
-      case Core::kCompleting:
-        do_complete(evt.core, evt.time);
+      case CoreState::kCompleting:
+        do_complete(c, t1);
         break;
-      case Core::kIdle:
-        assert(false && "idle core should have no events");
-        break;
+      case CoreState::kIdle:
+        break;  // unreachable
+    }
+    // While core c's next L2 access still precedes every other core's
+    // event, it is the event the scan would pick — chain it directly.
+    // (Other cores' times are unchanged by c's accesses, so t2 stands.)
+    while (cores[c].state == CoreState::kPendingL2 && cores[c].time < t2) {
+      do_l2_access(c, cores[c].time, t2);
     }
   }
 
@@ -284,6 +516,30 @@ SimResult CmpSimulator::run(const TaskDag& dag, Scheduler& sched) {
   res.steals = sched.steal_count();
   for (int i = 0; i < P; ++i) res.core_busy_cycles[i] = cores[i].busy;
   return res;
+}
+
+}  // namespace
+
+CmpSimulator::CmpSimulator(const CmpConfig& config) : cfg_(config) {
+  if (cfg_.cores < 1 || cfg_.cores > 32) {
+    throw std::invalid_argument("1..32 cores supported");
+  }
+  if ((cfg_.line_bytes & (cfg_.line_bytes - 1)) != 0) {
+    throw std::invalid_argument("line size must be a power of two");
+  }
+}
+
+SimResult CmpSimulator::run(const TaskDag& dag, Scheduler& sched) {
+  if (auto* s = dynamic_cast<PdfScheduler*>(&sched)) {
+    return simulate(cfg_, quantum_, collect_task_stats_, dag, *s);
+  }
+  if (auto* s = dynamic_cast<WsScheduler*>(&sched)) {
+    return simulate(cfg_, quantum_, collect_task_stats_, dag, *s);
+  }
+  if (auto* s = dynamic_cast<CentralFifoScheduler*>(&sched)) {
+    return simulate(cfg_, quantum_, collect_task_stats_, dag, *s);
+  }
+  return simulate(cfg_, quantum_, collect_task_stats_, dag, sched);
 }
 
 }  // namespace cachesched

@@ -111,8 +111,6 @@ class CmpSimulator {
   const CmpConfig& config() const { return cfg_; }
 
  private:
-  struct Core;
-  struct Impl;
   CmpConfig cfg_;
   uint64_t quantum_ = 1000;
   bool collect_task_stats_ = false;

@@ -101,6 +101,23 @@ TEST(Cache, ClearResetsEverything) {
   EXPECT_EQ(c.probe(1), nullptr);
 }
 
+TEST(Cache, WideAssociativityFallback) {
+  // > 255 ways switches to the timestamp-LRU path (fully-associative
+  // profiler/test configurations); semantics must be unchanged.
+  SetAssocCache c(1, 300);
+  for (uint64_t l = 0; l < 300; ++l) c.install(l, false, nullptr);
+  EXPECT_EQ(c.valid_lines(), 300u);
+  c.touch(c.probe(0));  // 0 becomes MRU; 1 is now the LRU line
+  auto ev = c.install(1000, false, nullptr);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line, 1u);
+  EXPECT_NE(c.probe(0), nullptr);
+  EXPECT_EQ(c.probe(1), nullptr);
+  EXPECT_FALSE(c.invalidate(2));  // was clean
+  EXPECT_EQ(c.probe(2), nullptr);
+  EXPECT_EQ(c.valid_lines(), 299u);
+}
+
 TEST(Cache, LruStressAgainstReferenceModel) {
   // Compare against a simple per-set reference implementation.
   constexpr uint64_t kSets = 4, kWays = 4;

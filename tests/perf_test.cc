@@ -1,0 +1,129 @@
+// Unit tests for the perf harness: timing statistics, the stable JSON
+// report schema (emit -> parse round trip), and regression comparison.
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "perf/perf.h"
+
+namespace cachesched::perf {
+namespace {
+
+TEST(PerfStats, MeasureRunsWarmupAndReps) {
+  int calls = 0;
+  const Stats s = measure(2, 5, [&] { ++calls; });
+  EXPECT_EQ(calls, 7);
+  EXPECT_EQ(s.reps, 5);
+  EXPECT_GE(s.median, s.min);
+  EXPECT_GE(s.mean, 0.0);
+  EXPECT_GE(s.stddev, 0.0);
+}
+
+TEST(PerfStats, MedianOfEvenRepsAveragesMiddlePair) {
+  // With deterministic sleeps we cannot pin exact values, but the median
+  // must lie between min and max; sanity-check the aggregate contract.
+  const Stats s = measure(0, 4, [] {});
+  EXPECT_GE(s.median, s.min);
+  EXPECT_LE(s.stddev, 1.0);
+}
+
+Report sample_report() {
+  Report r;
+  r.suite = "cachesched-perf";
+  r.quick = true;
+  r.meta = machine_info();
+  Benchmark b;
+  b.name = "engine/mergesort/pdf";
+  b.metric = "Mrefs_per_sec";
+  b.value = 15.62;
+  b.work_items = 4959230;
+  b.stats.reps = 5;
+  b.stats.min = 0.31;
+  b.stats.median = 0.33;
+  r.benchmarks.push_back(b);
+  b.name = "profiler/lru_stack";
+  b.metric = "Maccesses_per_sec";
+  b.value = 11.2;
+  r.benchmarks.push_back(b);
+  return r;
+}
+
+TEST(PerfReport, JsonRoundTrip) {
+  const Report r = sample_report();
+  const Report p = parse_report(r.to_json());
+  ASSERT_EQ(p.benchmarks.size(), r.benchmarks.size());
+  EXPECT_EQ(p.schema, 1);
+  EXPECT_EQ(p.suite, r.suite);
+  EXPECT_TRUE(p.quick);
+  EXPECT_EQ(p.meta.compiler, r.meta.compiler);
+  EXPECT_EQ(p.meta.os, r.meta.os);
+  for (size_t i = 0; i < r.benchmarks.size(); ++i) {
+    EXPECT_EQ(p.benchmarks[i].name, r.benchmarks[i].name);
+    EXPECT_EQ(p.benchmarks[i].metric, r.benchmarks[i].metric);
+    EXPECT_NEAR(p.benchmarks[i].value, r.benchmarks[i].value, 1e-4);
+    EXPECT_EQ(p.benchmarks[i].work_items, r.benchmarks[i].work_items);
+    EXPECT_EQ(p.benchmarks[i].stats.reps, r.benchmarks[i].stats.reps);
+  }
+}
+
+TEST(PerfReport, FindLocatesBenchmarksByName) {
+  const Report r = sample_report();
+  ASSERT_NE(r.find("profiler/lru_stack"), nullptr);
+  EXPECT_EQ(r.find("profiler/lru_stack")->metric, "Maccesses_per_sec");
+  EXPECT_EQ(r.find("nope"), nullptr);
+}
+
+TEST(PerfReport, ParseRejectsGarbageAndWrongSchema) {
+  EXPECT_THROW(parse_report("not json"), std::runtime_error);
+  EXPECT_THROW(parse_report("{\"schema\": 2, \"benchmarks\": []}"),
+               std::runtime_error);
+  EXPECT_THROW(parse_report("{\"schema\": 1}"), std::runtime_error);
+}
+
+TEST(PerfCompare, FlagsRegressionsBeyondThreshold) {
+  Report base = sample_report();
+  Report cur = sample_report();
+  cur.benchmarks[0].value = base.benchmarks[0].value * 0.80;  // -20%
+  cur.benchmarks[1].value = base.benchmarks[1].value * 0.95;  // -5%
+  const auto deltas = compare_reports(base, cur, 0.10);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_TRUE(deltas[0].regression);
+  EXPECT_NEAR(deltas[0].ratio, 0.80, 1e-9);
+  EXPECT_FALSE(deltas[1].regression);
+}
+
+TEST(PerfCompare, ZeroBaselineIsNeverARegression) {
+  Report base = sample_report();
+  Report cur = sample_report();
+  base.benchmarks[0].value = 0.0;  // no signal in the baseline
+  const auto deltas = compare_reports(base, cur, 0.10);
+  EXPECT_FALSE(deltas[0].regression);
+  EXPECT_EQ(deltas[0].ratio, 0.0);
+}
+
+TEST(PerfCompare, ReportsMissingBenchmarksWithoutFailing) {
+  Report base = sample_report();
+  Report cur = sample_report();
+  cur.benchmarks.pop_back();
+  Benchmark extra;
+  extra.name = "engine/new_app/pdf";
+  extra.metric = "Mrefs_per_sec";
+  extra.value = 1.0;
+  cur.benchmarks.push_back(extra);
+  const auto deltas = compare_reports(base, cur, 0.10);
+  ASSERT_EQ(deltas.size(), 3u);
+  EXPECT_TRUE(deltas[1].missing_in_current);
+  EXPECT_FALSE(deltas[1].regression);
+  EXPECT_TRUE(deltas[2].missing_in_baseline);
+}
+
+TEST(PerfMachineInfo, PopulatesFields) {
+  const MachineInfo m = machine_info();
+  EXPECT_FALSE(m.compiler.empty());
+  EXPECT_FALSE(m.build_type.empty());
+  EXPECT_FALSE(m.os.empty());
+}
+
+}  // namespace
+}  // namespace cachesched::perf

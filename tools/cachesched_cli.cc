@@ -14,6 +14,9 @@
 //                        [--csv=path] [--json=path] [--progress]
 //                        [--l2-hit=N] [--mem-latency=N] [--banks=N]
 //                        [--dispatch=N]               # parallel job matrix
+//   cachesched_cli perf  [--quick] [--reps=N] [--apps=a,b,...]
+//                        [--out=BENCH_sim.json]       # fixed perf suite;
+//                        diff two outputs with tools/perf_compare
 //
 // Exit code 0 on success (2 on unknown flags); errors to stderr.
 #include <cstdio>
@@ -25,6 +28,7 @@
 #include "core/dag_io.h"
 #include "exp/sweep.h"
 #include "harness/apps.h"
+#include "perf/suite.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -185,6 +189,28 @@ int cmd_sweep(const CliArgs& args) {
   return 0;
 }
 
+int cmd_perf(const CliArgs& args) {
+  perf::SuiteOptions opt;
+  opt.quick = args.get_bool("quick", false);
+  opt.reps = static_cast<int>(args.get_int("reps", 0));
+  if (args.has("apps")) opt.apps = args.get_list("apps", "");
+  const std::string out = args.get("out", "BENCH_sim.json");
+  if (const int rc = args.check_unused()) return rc;
+
+  opt.on_benchmark = [](const perf::Benchmark& b) {
+    std::fprintf(stderr, "  %-24s %10.2f %s  (min %.3fs over %d reps)\n",
+                 b.name.c_str(), b.value, b.metric.c_str(), b.stats.min,
+                 b.stats.reps);
+  };
+  std::cerr << "perf: running " << (opt.quick ? "quick" : "full")
+            << " suite\n";
+  const perf::Report rep = perf::run_suite(opt);
+  rep.write(out);
+  std::cout << "wrote " << rep.benchmarks.size() << " benchmarks to " << out
+            << "\n";
+  return 0;
+}
+
 int cmd_configs() {
   auto print = [](const char* title, const std::vector<CmpConfig>& v) {
     std::cout << "\n" << title << "\n";
@@ -196,9 +222,9 @@ int cmd_configs() {
 }
 
 int usage() {
-  std::cerr
-      << "usage: cachesched_cli {run|trace|replay|configs|sweep} [options]\n"
-         "see the header of tools/cachesched_cli.cc for options\n";
+  std::cerr << "usage: cachesched_cli {run|trace|replay|configs|sweep|perf} "
+               "[options]\n"
+               "see the header of tools/cachesched_cli.cc for options\n";
   return 2;
 }
 
@@ -215,6 +241,7 @@ int main(int argc, char** argv) {
     else if (cmd == "replay") rc = cmd_replay(args);
     else if (cmd == "configs") rc = cmd_configs();
     else if (cmd == "sweep") rc = cmd_sweep(args);
+    else if (cmd == "perf") rc = cmd_perf(args);
     else return usage();
     const int unused_rc = args.check_unused();
     return rc ? rc : unused_rc;

@@ -1,0 +1,89 @@
+// perf_compare — diffs two BENCH_sim.json files (see src/perf/perf.h for
+// the schema) and flags throughput regressions.
+//
+//   perf_compare BASELINE.json CURRENT.json [--threshold=0.10]
+//                [--report-only]
+//
+// Benchmarks are matched by name; a benchmark whose value (always
+// higher-is-better) dropped by more than the threshold is a regression.
+// Exit codes: 0 = no regressions (or --report-only), 1 = regressions,
+// 2 = bad invocation or malformed input.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "perf/perf.h"
+#include "util/cli.h"
+
+using namespace cachesched;
+
+int main(int argc, char** argv) {
+  try {
+    // Split positionals from flags, folding the "--key value" form into
+    // "--key=value" so CliArgs sees self-contained tokens (--report-only
+    // is the only boolean flag and never consumes a value).
+    std::vector<std::string> positional;
+    std::vector<std::string> flag_tokens;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.empty() || arg[0] != '-') {
+        positional.push_back(std::move(arg));
+        continue;
+      }
+      if (arg.find('=') == std::string::npos && arg != "--report-only" &&
+          i + 1 < argc && argv[i + 1][0] != '-') {
+        arg += '=';
+        arg += argv[++i];
+      }
+      flag_tokens.push_back(std::move(arg));
+    }
+    if (positional.size() != 2) {
+      std::cerr << "usage: perf_compare BASELINE.json CURRENT.json "
+                   "[--threshold=0.10] [--report-only]\n";
+      return 2;
+    }
+    std::vector<char*> flags = {argv[0]};
+    for (std::string& t : flag_tokens) flags.push_back(t.data());
+    CliArgs args(static_cast<int>(flags.size()), flags.data());
+    const double threshold = args.get_double("threshold", 0.10);
+    const bool report_only = args.get_bool("report-only", false);
+    if (const int rc = args.check_unused()) return rc;
+
+    const perf::Report base = perf::load_report(positional[0]);
+    const perf::Report cur = perf::load_report(positional[1]);
+    const std::vector<perf::Delta> deltas =
+        perf::compare_reports(base, cur, threshold);
+
+    std::printf("%-26s %12s %12s %8s  %s\n", "benchmark", "baseline",
+                "current", "ratio", "status");
+    int regressions = 0;
+    for (const perf::Delta& d : deltas) {
+      const char* status = "ok";
+      if (d.missing_in_current) {
+        status = "MISSING in current";
+      } else if (d.missing_in_baseline) {
+        status = "new (no baseline)";
+      } else if (d.regression) {
+        status = "REGRESSION";
+        ++regressions;
+      } else if (d.ratio > 1.0 + threshold) {
+        status = "improved";
+      }
+      std::printf("%-26s %12.2f %12.2f %7.2fx  %s\n", d.name.c_str(),
+                  d.base_value, d.cur_value, d.ratio, status);
+    }
+    if (regressions > 0) {
+      std::printf("\n%d regression(s) beyond %.0f%% threshold%s\n",
+                  regressions, threshold * 100,
+                  report_only ? " (report-only mode, not failing)" : "");
+      return report_only ? 0 : 1;
+    }
+    std::printf("\nno regressions beyond %.0f%% threshold\n",
+                threshold * 100);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "perf_compare: " << e.what() << "\n";
+    return 2;
+  }
+}
