@@ -67,9 +67,9 @@ int main(int argc, char** argv) {
   const auto cores = args.get_int_list("cores", {1, 2, 4, 8, 16, 32});
   const std::string csv = args.get("csv", "");
   const int jobs = static_cast<int>(args.get_int("jobs", 0));
-  const auto apps = app == "all"
-                        ? std::vector<std::string>{"lu", "hashjoin", "mergesort"}
-                        : std::vector<std::string>{app};
+  const auto apps =
+      app == "all" ? std::vector<std::string>{"lu", "hashjoin", "mergesort"}
+                   : std::vector<std::string>{app};
   // Every flag has been queried; fail on typos before the long run.
   if (const int rc = args.check_unused()) return rc;
 

@@ -62,8 +62,10 @@ int main(int argc, char** argv) {
                  Table::num(pdf->result.cycles), Table::num(ws->result.cycles),
                  Table::num(static_cast<double>(ws->result.cycles) /
                                 static_cast<double>(pdf->result.cycles), 3),
-                 Table::num(100.0 * pdf->result.mem_bandwidth_utilization(), 1),
-                 Table::num(100.0 * ws->result.mem_bandwidth_utilization(), 1)});
+                 Table::num(100.0 * pdf->result.mem_bandwidth_utilization(),
+                            1),
+                 Table::num(100.0 * ws->result.mem_bandwidth_utilization(),
+                            1)});
     }
     std::cout << "\n=== Figure 3: " << app << " on 45nm design points ("
               << params << ") ===\n";

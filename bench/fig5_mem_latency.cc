@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const double scale = args.get_double("scale", 0.125);
   const int cores = static_cast<int>(args.get_int("cores", 16));
-  const auto lats = args.get_int_list("latencies", {100, 300, 500, 700, 900, 1100});
+  const auto lats =
+      args.get_int_list("latencies", {100, 300, 500, 700, 900, 1100});
   const std::string csv = args.get("csv", "");
   std::stringstream apps_ss(args.get("apps", "hashjoin,mergesort"));
 

@@ -60,7 +60,8 @@ int main(int argc, char** argv) {
                  Table::num(red, 1),
                  Table::num(static_cast<double>(ws->result.cycles) /
                                 static_cast<double>(pdf->result.cycles), 3),
-                 Table::num(100.0 * ws->result.mem_bandwidth_utilization(), 1)});
+                 Table::num(100.0 * ws->result.mem_bandwidth_utilization(),
+                            1)});
     }
   }
   std::cout << "\n=== Sections 5.1/5.5: benchmark summary (PDF vs WS) ===\n";

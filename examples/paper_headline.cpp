@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ws.cycles),
                 ws.speedup_over(seq), ws.l2_misses_per_kilo_instr());
     std::printf("  -> PDF over WS: %.2fx, L2 miss reduction %.1f%%\n\n",
-                static_cast<double>(ws.cycles) / static_cast<double>(pdf.cycles),
+                static_cast<double>(ws.cycles) /
+                    static_cast<double>(pdf.cycles),
                 100.0 * (1.0 - static_cast<double>(pdf.l2_misses) /
                                    static_cast<double>(ws.l2_misses)));
   }

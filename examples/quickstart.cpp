@@ -73,8 +73,10 @@ int main(int argc, char** argv) {
                 100.0 * r.mem_bandwidth_utilization(),
                 static_cast<unsigned long long>(r.steals));
   }
-  std::printf("\nPDF runs all consumers in parallel over the hot shared buffer, then the\n"
-              "scanners; WS serializes the consumers on the spawning core while the\n"
-              "thieves run scanners — same cold misses, worse completion time.\n");
+  std::printf(
+      "\nPDF runs all consumers in parallel over the hot shared buffer, then "
+      "the\nscanners; WS serializes the consumers on the spawning core while "
+      "the\nthieves run scanners — same cold misses, worse completion "
+      "time.\n");
   return args.check_unused();
 }

@@ -69,7 +69,8 @@ int main(int argc, char** argv) {
       simulate_app(make_app("mergesort", cfg, tuned), cfg, "pdf").cycles;
   const uint64_t t_manual =
       simulate_app(make_app("mergesort", cfg, manual), cfg, "pdf").cycles;
-  std::printf("\nPDF cycles:  finest %llu | auto-tuned %llu | hand-tuned %llu\n",
+  std::printf(
+      "\nPDF cycles:  finest %llu | auto-tuned %llu | hand-tuned %llu\n",
               static_cast<unsigned long long>(t_fine),
               static_cast<unsigned long long>(t_tuned),
               static_cast<unsigned long long>(t_manual));

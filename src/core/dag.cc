@@ -142,8 +142,9 @@ TaskDag DagBuilder::finish() {
   finished_ = true;
   // CSR for child edges. Edges were appended per-child; sort by parent,
   // keeping insertion (spawn) order within a parent via stable_sort.
-  std::stable_sort(edges_.begin(), edges_.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::stable_sort(
+      edges_.begin(), edges_.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
   dag_.child_edges_.resize(edges_.size());
   size_t e = 0;
   for (TaskId t = 0; t < dag_.tasks_.size(); ++t) {

@@ -129,6 +129,25 @@ class DagBuilder {
                     std::span<const RefBlock>(blocks.begin(), blocks.size()));
   }
 
+  /// Convenience for builders that assemble parent/block lists in vectors
+  /// (the src/gen/ workload generators); forwards to the span overload.
+  TaskId add_task(const std::vector<TaskId>& parents,
+                  const std::vector<RefBlock>& blocks) {
+    return add_task(std::span<const TaskId>(parents.data(), parents.size()),
+                    std::span<const RefBlock>(blocks.data(), blocks.size()));
+  }
+
+  /// Single-dependence convenience (kNoTask = a root task): the common
+  /// case for chain- and tree-shaped generators.
+  TaskId add_task_after(TaskId parent, const std::vector<RefBlock>& blocks) {
+    if (parent == kNoTask) {
+      return add_task(std::span<const TaskId>{},
+                      std::span<const RefBlock>(blocks.data(), blocks.size()));
+    }
+    return add_task(std::span<const TaskId>(&parent, 1),
+                    std::span<const RefBlock>(blocks.data(), blocks.size()));
+  }
+
   size_t num_tasks() const { return dag_.tasks_.size(); }
 
   /// Finalizes edge CSR and roots; the builder must not be reused after.

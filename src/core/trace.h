@@ -63,8 +63,9 @@ struct RefBlock {
     return b;
   }
 
-  static RefBlock stride_ref(uint64_t base, uint32_t count, int64_t stride_bytes,
-                             bool is_write, uint32_t instr_per_ref) {
+  static RefBlock stride_ref(uint64_t base, uint32_t count,
+                             int64_t stride_bytes, bool is_write,
+                             uint32_t instr_per_ref) {
     RefBlock b;
     b.kind = RefKind::kStride;
     b.base = base;

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "harness/workload_registry.h"
 #include "util/json.h"
 
 namespace cachesched {
@@ -25,7 +26,9 @@ std::vector<CmpConfig> configs_for(const SweepSpec& spec, double scale) {
     if (spec.core_counts.empty()) {
       bases = single_tech_45nm_configs();
     } else {
-      for (int c : spec.core_counts) bases.push_back(single_tech_45nm_config(c));
+      for (int c : spec.core_counts) {
+        bases.push_back(single_tech_45nm_config(c));
+      }
     }
   } else {
     throw std::invalid_argument("unknown tech: " + spec.tech +
@@ -34,7 +37,9 @@ std::vector<CmpConfig> configs_for(const SweepSpec& spec, double scale) {
   for (CmpConfig& cfg : bases) {
     cfg = cfg.scaled(scale);
     if (spec.l2_hit_cycles) cfg.l2_hit_cycles = *spec.l2_hit_cycles;
-    if (spec.mem_latency_cycles) cfg.mem_latency_cycles = *spec.mem_latency_cycles;
+    if (spec.mem_latency_cycles) {
+      cfg.mem_latency_cycles = *spec.mem_latency_cycles;
+    }
     if (spec.l2_banks) cfg.l2_banks = *spec.l2_banks;
     if (spec.task_dispatch_cycles) {
       cfg.task_dispatch_cycles = *spec.task_dispatch_cycles;
@@ -45,7 +50,7 @@ std::vector<CmpConfig> configs_for(const SweepSpec& spec, double scale) {
 
 SweepRecord run_one(const SweepJob& job) {
   const Workload w = job.factory ? job.factory(job.config, job.opt)
-                                 : make_app(job.app, job.config, job.opt);
+                                 : make_workload(job.app, job.config, job.opt);
   CmpConfig cfg = job.config;
   std::string sched = job.sched;
   if (sched == kSequentialSched) {
@@ -120,8 +125,8 @@ SweepResults run_sweep(std::vector<SweepJob> jobs,
     workers = static_cast<int>(std::thread::hardware_concurrency());
     if (workers <= 0) workers = 1;
   }
-  workers = static_cast<int>(
-      std::min<size_t>(static_cast<size_t>(workers), std::max<size_t>(total, 1)));
+  workers = static_cast<int>(std::min<size_t>(static_cast<size_t>(workers),
+                                              std::max<size_t>(total, 1)));
 
   std::atomic<size_t> next{0};
   size_t completed = 0;  // guarded by mu, so callbacks see monotonic counts

@@ -46,13 +46,14 @@ namespace cachesched {
 /// denominator of the paper's speedup plots.
 inline constexpr const char* kSequentialSched = "seq";
 
-/// Builds the workload a job simulates; defaults to make_app(app, ...).
+/// Builds the workload a job simulates; defaults to make_workload(app, ...).
 using WorkloadFactory =
     std::function<Workload(const CmpConfig&, const AppOptions&)>;
 
 /// One simulation: a workload on a configuration under a scheduler.
 struct SweepJob {
-  std::string app;    // workload name for make_app, or a label when
+  std::string app;    // workload spec for make_workload (a seed app name
+                      // or a src/gen spec string), or a label when
                       // `factory` is set
   std::string sched;  // registry name, or kSequentialSched
   std::string tag;    // free-form label distinguishing variants of the
@@ -65,6 +66,8 @@ struct SweepJob {
 
 /// Declarative cross-product sweep.
 struct SweepSpec {
+  /// Workload specs: seed app names and/or src/gen generator spec strings
+  /// (anything make_workload resolves).
   std::vector<std::string> apps;
   std::vector<std::string> scheds = {"pdf", "ws"};
   /// Core counts selecting configurations from `tech`'s table; empty =

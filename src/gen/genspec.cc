@@ -1,0 +1,321 @@
+#include "gen/genspec.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace cachesched {
+namespace {
+
+// Specs describe simulated workloads; anything past a few million tasks is
+// a typo (e.g. dnc:depth=30), not an experiment, so fail at parse time
+// instead of grinding through an enormous build.
+constexpr uint64_t kMaxTasks = 1u << 21;
+
+constexpr uint64_t kMinWs = 128;
+constexpr uint64_t kMaxWs = 256ull * 1024 * 1024;
+constexpr double kMaxShare = 0.9;
+
+[[noreturn]] void fail(const std::string& spec, const std::string& what) {
+  throw std::invalid_argument("bad workload spec \"" + spec + "\": " + what);
+}
+
+uint64_t parse_u64(const std::string& spec, const std::string& key,
+                   const std::string& val, uint64_t lo, uint64_t hi,
+                   bool size_suffix) {
+  if (val.empty()) fail(spec, key + " has no value");
+  if (val[0] == '-' || val[0] == '+') {
+    // strtoull would silently wrap negatives to huge values.
+    fail(spec, key + "=" + val + " is not a valid unsigned integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long raw = std::strtoull(val.c_str(), &end, 10);
+  uint64_t v = raw;
+  if (errno == ERANGE) fail(spec, key + "=" + val + " overflows");
+  if (size_suffix && end && *end) {
+    const char suffix = *end;
+    uint64_t mult = 0;
+    if (suffix == 'K' || suffix == 'k') mult = 1024;
+    if (suffix == 'M' || suffix == 'm') mult = 1024 * 1024;
+    if (suffix == 'G' || suffix == 'g') mult = 1024ull * 1024 * 1024;
+    if (mult) {
+      if (v > UINT64_MAX / mult) fail(spec, key + "=" + val + " overflows");
+      v *= mult;
+      ++end;
+    }
+  }
+  if (!end || *end != '\0' || end == val.c_str()) {
+    fail(spec, key + "=" + val + " is not a valid " +
+                   (size_suffix ? "size (integer, optional K/M/G suffix)"
+                                : "integer"));
+  }
+  if (v < lo || v > hi) {
+    fail(spec, key + "=" + val + " out of range [" + std::to_string(lo) + ", " +
+                   std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+double parse_frac(const std::string& spec, const std::string& key,
+                  const std::string& val, double lo, double hi) {
+  if (val.empty()) fail(spec, key + " has no value");
+  char* end = nullptr;
+  const double v = std::strtod(val.c_str(), &end);
+  if (!end || *end != '\0' || end == val.c_str() || !std::isfinite(v)) {
+    fail(spec, key + "=" + val + " is not a valid number");
+  }
+  if (v < lo || v > hi) {
+    std::ostringstream os;
+    os << key << "=" << val << " out of range [" << lo << ", " << hi << "]";
+    fail(spec, os.str());
+  }
+  return v;
+}
+
+ReuseProfile parse_reuse(const std::string& spec, const std::string& val) {
+  if (val == "stream") return ReuseProfile::kStream;
+  if (val == "loop") return ReuseProfile::kLoop;
+  if (val == "rand") return ReuseProfile::kRandom;
+  fail(spec, "reuse=" + val + " (known: stream loop rand)");
+}
+
+/// Shortest decimal that parses back to exactly `v` (same approach as the
+/// sweep engine's scale formatting), so canonical() round-trips share/p
+/// without either precision loss or 17-digit noise.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[64];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+    if (std::stod(probe) == v) return probe;
+  }
+  return buf;
+}
+
+const char* reuse_name(ReuseProfile r) {
+  switch (r) {
+    case ReuseProfile::kStream: return "stream";
+    case ReuseProfile::kLoop: return "loop";
+    case ReuseProfile::kRandom: return "rand";
+  }
+  return "?";
+}
+
+const std::map<std::string, GenFamily>& family_table() {
+  static const std::map<std::string, GenFamily> table = {
+      {"dnc", GenFamily::kDnc},
+      {"forkjoin", GenFamily::kForkJoin},
+      {"layered", GenFamily::kLayered},
+      {"pipeline", GenFamily::kPipeline},
+      {"stencil", GenFamily::kStencil},
+  };
+  return table;
+}
+
+/// Splits "k1=v1,k2=v2" and rejects empty params, missing '=' and
+/// duplicate keys.
+std::vector<std::pair<std::string, std::string>> split_params(
+    const std::string& spec, const std::string& params) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::set<std::string> seen;
+  std::stringstream ss(params);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) fail(spec, "empty parameter (stray comma)");
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      fail(spec, "parameter \"" + item + "\" is not key=value");
+    }
+    const std::string key = item.substr(0, eq);
+    if (!seen.insert(key).second) fail(spec, "duplicate key " + key);
+    out.emplace_back(key, item.substr(eq + 1));
+  }
+  if (!params.empty() && params.back() == ',') {
+    fail(spec, "empty parameter (stray comma)");
+  }
+  return out;
+}
+
+}  // namespace
+
+GenSpec GenSpec::parse(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  const std::string fam = spec.substr(0, colon);
+  const auto it = family_table().find(fam);
+  if (it == family_table().end()) {
+    std::ostringstream os;
+    os << "unknown family \"" << fam << "\" (known:";
+    for (const auto& [name, _] : family_table()) os << " " << name;
+    os << ")";
+    fail(spec, os.str());
+  }
+  GenSpec s;
+  s.family = it->second;
+
+  // Which family-specific keys apply; common keys always do.
+  const std::set<std::string> keys = [&]() -> std::set<std::string> {
+    switch (s.family) {
+      case GenFamily::kDnc: return {"depth", "fanout"};
+      case GenFamily::kForkJoin: return {"stages", "width"};
+      case GenFamily::kLayered: return {"layers", "width", "p"};
+      case GenFamily::kPipeline: return {"stages", "items"};
+      case GenFamily::kStencil: return {"tiles", "steps"};
+    }
+    return {};
+  }();
+
+  const std::string params =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  for (const auto& [key, val] : split_params(spec, params)) {
+    if (key == "ws") {
+      s.ws_bytes = parse_u64(spec, key, val, kMinWs, kMaxWs, true);
+    } else if (key == "share") {
+      s.share = parse_frac(spec, key, val, 0.0, kMaxShare);
+    } else if (key == "shared") {
+      s.shared_bytes = parse_u64(spec, key, val, kMinWs, kMaxWs, true);
+    } else if (key == "reuse") {
+      s.reuse = parse_reuse(spec, val);
+    } else if (key == "passes") {
+      s.passes = static_cast<uint32_t>(parse_u64(spec, key, val, 1, 64, false));
+    } else if (key == "seed") {
+      s.seed = parse_u64(spec, key, val, 0, UINT64_MAX, false);
+    } else if (key == "ipr") {
+      s.instr_per_ref =
+          static_cast<uint32_t>(parse_u64(spec, key, val, 1, 10000, false));
+    } else if (keys.count(key)) {
+      if (key == "depth") {
+        s.depth =
+            static_cast<uint32_t>(parse_u64(spec, key, val, 1, 20, false));
+      } else if (key == "fanout") {
+        s.fanout =
+            static_cast<uint32_t>(parse_u64(spec, key, val, 2, 16, false));
+      } else if (key == "stages") {
+        s.stages =
+            static_cast<uint32_t>(parse_u64(spec, key, val, 1, 1024, false));
+      } else if (key == "width") {
+        s.width =
+            static_cast<uint32_t>(parse_u64(spec, key, val, 1, 4096, false));
+      } else if (key == "layers") {
+        s.layers =
+            static_cast<uint32_t>(parse_u64(spec, key, val, 2, 1024, false));
+      } else if (key == "p") {
+        s.edge_prob = parse_frac(spec, key, val, 0.0, 1.0);
+        if (s.edge_prob == 0.0) fail(spec, "p must be > 0");
+      } else if (key == "items") {
+        s.items =
+            static_cast<uint32_t>(parse_u64(spec, key, val, 1, 4096, false));
+      } else if (key == "tiles") {
+        s.tiles =
+            static_cast<uint32_t>(parse_u64(spec, key, val, 2, 1024, false));
+      } else if (key == "steps") {
+        s.steps =
+            static_cast<uint32_t>(parse_u64(spec, key, val, 1, 1024, false));
+      }
+    } else {
+      std::ostringstream os;
+      os << "unknown key \"" << key << "\" for family " << fam
+         << " (family keys:";
+      for (const auto& k : keys) os << " " << k;
+      os << "; common: ws share shared reuse passes seed ipr)";
+      fail(spec, os.str());
+    }
+  }
+
+  const uint64_t tasks = s.num_tasks();
+  if (tasks > kMaxTasks) {
+    fail(spec, "expands to " + std::to_string(tasks) + " tasks (cap " +
+                   std::to_string(kMaxTasks) + ")");
+  }
+  if (s.family == GenFamily::kDnc) {
+    // The root combine sweeps every leaf region; keep its reference count
+    // sane (and far away from the uint32 RefBlock::count ceiling).
+    uint64_t leaves = 1;
+    for (uint32_t d = 0; d < s.depth; ++d) leaves *= s.fanout;
+    const uint64_t root_lines = leaves * (s.ws_bytes / 64 + 1);
+    if (root_lines > (1u << 27)) {
+      fail(spec, "root combine would sweep " + std::to_string(root_lines) +
+                     " lines; reduce depth/fanout/ws");
+    }
+  }
+  return s;
+}
+
+uint64_t GenSpec::num_tasks() const {
+  switch (family) {
+    case GenFamily::kDnc: {
+      // fanout^depth leaves; each internal node is divide + combine.
+      uint64_t leaves = 1;
+      uint64_t internal = 0;
+      for (uint32_t d = 0; d < depth; ++d) {
+        internal += leaves;
+        if (leaves > kMaxTasks / fanout) return UINT64_MAX;  // clamp overflow
+        leaves *= fanout;
+      }
+      return leaves + 2 * internal;
+    }
+    case GenFamily::kForkJoin:
+      return static_cast<uint64_t>(stages) * (width + 2);
+    case GenFamily::kLayered:
+      return static_cast<uint64_t>(layers) * width;
+    case GenFamily::kPipeline:
+      return static_cast<uint64_t>(items) * stages;
+    case GenFamily::kStencil:
+      return static_cast<uint64_t>(steps) * tiles;
+  }
+  return 0;
+}
+
+std::vector<std::string> GenSpec::family_names() {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : family_table()) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+bool GenSpec::is_family(const std::string& name) {
+  return family_table().count(name) > 0;
+}
+
+std::string GenSpec::family_name() const {
+  for (const auto& [name, fam] : family_table()) {
+    if (fam == family) return name;
+  }
+  return "?";
+}
+
+std::string GenSpec::canonical() const {
+  std::ostringstream os;
+  os << family_name() << ":";
+  switch (family) {
+    case GenFamily::kDnc:
+      os << "depth=" << depth << ",fanout=" << fanout;
+      break;
+    case GenFamily::kForkJoin:
+      os << "stages=" << stages << ",width=" << width;
+      break;
+    case GenFamily::kLayered:
+      os << "layers=" << layers << ",width=" << width
+         << ",p=" << format_double(edge_prob);
+      break;
+    case GenFamily::kPipeline:
+      os << "stages=" << stages << ",items=" << items;
+      break;
+    case GenFamily::kStencil:
+      os << "tiles=" << tiles << ",steps=" << steps;
+      break;
+  }
+  os << ",ws=" << ws_bytes << ",share=" << format_double(share)
+     << ",shared=" << (shared_bytes ? shared_bytes : 8 * ws_bytes)
+     << ",reuse=" << reuse_name(reuse) << ",passes=" << passes
+     << ",seed=" << seed << ",ipr=" << instr_per_ref;
+  return os.str();
+}
+
+std::string GenSpec::describe() const { return canonical(); }
+
+}  // namespace cachesched

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "harness/workload_registry.h"
 #include "workloads/cholesky.h"
 #include "workloads/hashjoin.h"
 #include "workloads/heat.h"
@@ -15,7 +16,29 @@
 namespace cachesched {
 namespace {
 
-uint64_t pow2_floor(uint64_t v) { return std::bit_floor(std::max<uint64_t>(v, 1)); }
+uint64_t pow2_floor(uint64_t v) {
+  return std::bit_floor(std::max<uint64_t>(v, 1));
+}
+
+// Every seed app is resolvable through the workload registry, so the
+// sweep engine, perf suite and CLI treat paper apps and generated specs
+// (src/gen/) uniformly. Seed apps take no spec parameters.
+[[maybe_unused]] const bool kSeedAppsRegistered = [] {
+  for (const std::string& name : known_apps()) {
+    WorkloadRegistry::instance().add(
+        name, "seed app",
+        [name](const std::string& params, const CmpConfig& cfg,
+               const AppOptions& opt) {
+          if (!params.empty()) {
+            throw std::invalid_argument("workload \"" + name +
+                                        "\" takes no spec parameters (got \"" +
+                                        params + "\")");
+          }
+          return make_app(name, cfg, opt);
+        });
+  }
+  return true;
+}();
 
 }  // namespace
 
@@ -57,7 +80,8 @@ Workload make_app(const std::string& name, const CmpConfig& cfg,
     // Quadrant recursion needs a power-of-two block count; round the
     // scaled dimension to the nearest power of two.
     const double target_nb = 2048.0 * std::sqrt(s) / p.block;
-    const int exp = std::max(2, static_cast<int>(std::lround(std::log2(target_nb))));
+    const int exp =
+        std::max(2, static_cast<int>(std::lround(std::log2(target_nb))));
     p.n = p.block * (1u << exp);
     p.line_bytes = cfg.line_bytes;
     return build_lu(p);
@@ -82,7 +106,8 @@ Workload make_app(const std::string& name, const CmpConfig& cfg,
     CholeskyParams p;
     p.block = 32;
     const double target_nb = 2048.0 * std::sqrt(s) / p.block;
-    const int exp = std::max(2, static_cast<int>(std::lround(std::log2(target_nb))));
+    const int exp =
+        std::max(2, static_cast<int>(std::lround(std::log2(target_nb))));
     p.n = p.block * (1u << exp);
     p.line_bytes = cfg.line_bytes;
     return build_cholesky(p);
@@ -90,7 +115,8 @@ Workload make_app(const std::string& name, const CmpConfig& cfg,
   if (name == "heat") {
     HeatParams p;
     const uint32_t dim = std::max<uint32_t>(
-        static_cast<uint32_t>(std::lround(4096.0 * std::sqrt(s) / 64)) * 64, 256);
+        static_cast<uint32_t>(std::lround(4096.0 * std::sqrt(s) / 64)) * 64,
+        256);
     p.rows = dim;
     p.cols = dim;
     p.line_bytes = cfg.line_bytes;

@@ -33,6 +33,9 @@ struct AppOptions {
 };
 
 /// Known apps: mergesort, hashjoin, lu, matmul, quicksort, heat.
+/// Seed apps are also registered in the workload registry
+/// (harness/workload_registry.h), whose make_workload additionally
+/// resolves synthetic src/gen specs; new code should prefer it.
 Workload make_app(const std::string& name, const CmpConfig& cfg,
                   const AppOptions& opt);
 

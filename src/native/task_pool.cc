@@ -12,7 +12,8 @@ thread_local int tls_worker = -1;
 thread_local std::vector<uint32_t>* tls_path = nullptr;
 thread_local uint32_t tls_next_child = 0;
 
-bool path_after(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+bool path_after(const std::vector<uint32_t>& a,
+                const std::vector<uint32_t>& b) {
   // Max-heap comparator: true if a is sequentially *later* than b.
   return std::lexicographical_compare(b.begin(), b.end(), a.begin(), a.end());
 }

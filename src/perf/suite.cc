@@ -5,6 +5,7 @@
 #include "core/trace.h"
 #include "exp/sweep.h"
 #include "harness/apps.h"
+#include "harness/workload_registry.h"
 #include "profile/lru_stack.h"
 #include "sched/registry.h"
 #include "simarch/engine.h"
@@ -13,12 +14,15 @@ namespace cachesched::perf {
 
 namespace {
 
+/// `app` is any make_workload spec; `label` overrides the benchmark-name
+/// component when the spec itself is too unwieldy for a stable JSON key.
 Benchmark bench_engine(const std::string& app, const std::string& sched,
-                       double scale, int warmup, int reps) {
+                       double scale, int warmup, int reps,
+                       const std::string& label = "") {
   const CmpConfig cfg = default_config(8).scaled(scale);
   AppOptions opt;
   opt.scale = scale;
-  const Workload w = make_app(app, cfg, opt);
+  const Workload w = make_workload(app, cfg, opt);
   uint64_t refs = 0;
   const Stats stats = measure(warmup, reps, [&] {
     CmpSimulator sim(cfg);
@@ -27,7 +31,7 @@ Benchmark bench_engine(const std::string& app, const std::string& sched,
     refs = r.total_refs();
   });
   Benchmark b;
-  b.name = "engine/" + app + "/" + sched;
+  b.name = "engine/" + (label.empty() ? app : label) + "/" + sched;
   b.metric = "Mrefs_per_sec";
   b.work_items = refs;
   b.stats = stats;
@@ -117,6 +121,14 @@ Report run_suite(const SuiteOptions& options) {
       add(bench_engine(app, sched, engine_scale, warmup, reps));
     }
   }
+
+  // Generator path: one synthetic spec per mode keeps BENCH_sim.json
+  // tracking src/gen build + simulate throughput alongside the seed apps.
+  const std::string gen_spec =
+      quick ? "dnc:depth=6,fanout=2,ws=16K,share=0.25,seed=7"
+            : "dnc:depth=9,fanout=2,ws=32K,share=0.25,seed=7";
+  add(bench_engine(gen_spec, "pdf", engine_scale, warmup, reps, "gen_dnc"));
+
   add(bench_lru_stack(quick ? 0.03125 : 0.0625, warmup, reps));
 
   const Benchmark serial =

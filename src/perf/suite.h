@@ -3,6 +3,9 @@
 //   engine/<app>/<sched>   — CmpSimulator throughput (Mrefs_per_sec) on
 //                            the fig2-style workloads and the rest of the
 //                            paper's apps, 8-core default configuration;
+//   engine/gen_dnc/pdf     — the same metric over a synthetic src/gen
+//                            workload, so generator-path throughput is
+//                            tracked too;
 //   profiler/lru_stack     — LruStackModel throughput (Maccesses_per_sec)
 //                            over the mergesort reference stream;
 //   sweep/jobs_1 & jobs_N  — experiment-sweep engine throughput
@@ -26,7 +29,8 @@ struct SuiteOptions {
   bool quick = false;
   /// Repetitions per benchmark; 0 = default (3 quick, 5 full).
   int reps = 0;
-  /// Engine benchmark workloads; empty = the default set.
+  /// Engine benchmark workloads (seed app names or src/gen specs);
+  /// empty = the default set.
   std::vector<std::string> apps;
   /// Progress sink (one line per finished benchmark); null = silent.
   std::function<void(const Benchmark&)> on_benchmark;

@@ -27,7 +27,8 @@ SchedulerRegistry::Impl& SchedulerRegistry::impl() const {
 void SchedulerRegistry::add(const std::string& name,
                             SchedulerFactory factory) {
   if (name.empty() || !factory) {
-    throw std::invalid_argument("scheduler registration needs a name and a factory");
+    throw std::invalid_argument(
+        "scheduler registration needs a name and a factory");
   }
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mu);

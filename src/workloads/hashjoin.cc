@@ -32,10 +32,11 @@ Workload build_hashjoin(const HashJoinParams& p) {
                          64 * 1024);
   // Hash table ≈ build fragment + 20% bucket overhead.
   const uint64_t frag_bytes = std::max<uint64_t>(ht_bytes * 5 / 6, 64 * 1024);
-  const uint64_t frag_records = std::max<uint64_t>(frag_bytes / p.record_bytes, 1);
+  const uint64_t frag_records =
+      std::max<uint64_t>(frag_bytes / p.record_bytes, 1);
   const uint64_t total_build_records = p.build_bytes / p.record_bytes;
-  const uint64_t num_subparts =
-      std::max<uint64_t>((total_build_records + frag_records - 1) / frag_records, 1);
+  const uint64_t num_subparts = std::max<uint64_t>(
+      (total_build_records + frag_records - 1) / frag_records, 1);
 
   AddressAllocator alloc(p.line_bytes);
   const uint64_t build_base = alloc.alloc(p.build_bytes);
@@ -43,7 +44,9 @@ Workload build_hashjoin(const HashJoinParams& p) {
   const uint64_t out_base =
       alloc.alloc(p.build_bytes * p.probe_per_build * 2);  // concat records
   std::vector<uint64_t> ht_base(num_subparts);
-  for (uint64_t i = 0; i < num_subparts; ++i) ht_base[i] = alloc.alloc(ht_bytes);
+  for (uint64_t i = 0; i < num_subparts; ++i) {
+    ht_base[i] = alloc.alloc(ht_bytes);
+  }
 
   DagBuilder b;
   const RefBlock root_blocks[] = {RefBlock::compute(256)};
@@ -62,10 +65,9 @@ Workload build_hashjoin(const HashJoinParams& p) {
         static_cast<uint32_t>(recs * p.build_instr_per_record / total_refs), 1);
     out->push_back(RefBlock::stride_ref(build_base + rec_lo * p.record_bytes,
                                         scan_lines, p.line_bytes, false, ipr));
-    out->push_back(RefBlock::random_ref(ht_base[sub], ht_bytes, ht_refs,
-                                        p.seed * 1315423911u + sub * 2654435761u +
-                                            rec_lo,
-                                        true, ipr));
+    out->push_back(RefBlock::random_ref(
+        ht_base[sub], ht_bytes, ht_refs,
+        p.seed * 1315423911u + sub * 2654435761u + rec_lo, true, ipr));
   };
 
   // Emits one probe chunk: scan probe records, look each up in the hash
@@ -98,7 +100,8 @@ Workload build_hashjoin(const HashJoinParams& p) {
 
   uint64_t build_rec = 0;
   for (uint64_t sub = 0; sub < num_subparts; ++sub) {
-    const uint64_t recs = std::min(frag_records, total_build_records - build_rec);
+    const uint64_t recs =
+        std::min(frag_records, total_build_records - build_rec);
     if (recs == 0) break;
     const uint64_t probe_recs = recs * p.probe_per_build;
     const uint64_t probe_rec_lo = build_rec * p.probe_per_build;

@@ -11,7 +11,7 @@
 // fine_grained = false, reproducing the up-to-2.85x coarse-vs-fine result
 // of §5.4.
 //
-// DAG: root ─► build_i ─► { probe_i_1 … probe_i_m } for each sub-partition
+// DAG: root ─► build_i ─► { probe_i_1 … probe_i_m } per sub-partition
 // i, sub-partitions in sequential order. Under WS, cores steal different
 // sub-partitions and thrash the L2 with P disjoint hash tables; under PDF,
 // cores co-probe the sequentially-earliest sub-partition's table.
@@ -24,10 +24,11 @@
 namespace cachesched {
 
 struct HashJoinParams {
-  uint64_t build_bytes = 24ull << 20;  // build partition (paper: ~341 MB of 1 GB buffer)
+  // Build partition (paper: ~341 MB of a 1 GB buffer).
+  uint64_t build_bytes = 24ull << 20;
   uint32_t record_bytes = 100;
   uint32_t probe_per_build = 2;        // match ratio
-  uint64_t l2_bytes = 8u << 20;        // config L2; sub-partition HT sized to fit
+  uint64_t l2_bytes = 8u << 20;  // config L2; sub-partition HT sized to fit
   // The hash table must fit *within* the L2 with enough room that the
   // probe/output streams flowing through the cache do not flush it (the
   // paper's partitioning rule). An LRU reuse-distance argument puts the

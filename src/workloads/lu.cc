@@ -183,8 +183,8 @@ Workload build_lu(const LuParams& p) {
   const uint32_t block_lines = lines_for(c.block_bytes, p.line_bytes);
   // One instruction per flop: getrf 2/3 B^3 over 2 block passes; trsm B^3
   // over 3 streams; gemm 2 B^3 over 3 streams.
-  c.getrf_ipr =
-      std::max<uint32_t>(static_cast<uint32_t>(2 * b3 / 3 / (2 * block_lines)), 1);
+  c.getrf_ipr = std::max<uint32_t>(
+      static_cast<uint32_t>(2 * b3 / 3 / (2 * block_lines)), 1);
   c.trsm_ipr =
       std::max<uint32_t>(static_cast<uint32_t>(b3 / (3 * block_lines)), 1);
   c.gemm_ipr =

@@ -82,8 +82,9 @@ TaskId emit_leaf(const Ctx& c, uint64_t lo, uint64_t n, TaskId dep) {
                                      c.merge_instr_per_ref / 2 + 1));
   }
   if (dep == kNoTask) {
-    return c.b->add_task(std::span<const TaskId>{},
-                         std::span<const RefBlock>(blocks.data(), blocks.size()));
+    return c.b->add_task(
+        std::span<const TaskId>{},
+        std::span<const RefBlock>(blocks.data(), blocks.size()));
   }
   const TaskId deps[] = {dep};
   return c.b->add_task(std::span<const TaskId>(deps, 1),
@@ -187,8 +188,9 @@ SubSort emit_sort(Ctx& c, uint64_t lo, uint64_t n, TaskId dep) {
                            /*seed=*/lo * 37 + n, false, kSearchInstrPerRef),
   };
   const TaskId split_deps[] = {left.done, right.done};
-  const TaskId split = c.b->add_task(std::span<const TaskId>(split_deps, 2),
-                                     std::span<const RefBlock>(split_blocks, 2));
+  const TaskId split =
+      c.b->add_task(std::span<const TaskId>(split_deps, 2),
+                    std::span<const RefBlock>(split_blocks, 2));
   std::vector<TaskId> chunk_tasks;
   chunk_tasks.reserve(k);
   emit_chunks_grouped(c, n, lo, k, 0, k, in_side, split, &chunk_tasks);

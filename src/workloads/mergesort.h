@@ -9,7 +9,7 @@
 // work stealing unfolds subtrees exactly as it would at run time:
 //
 //     divide ──► sort(left half) ──┐
-//        └─────► sort(right half) ─┴─► split ──► k merge chunk tasks ──► join
+//        └─────► sort(right half) ─┴─► split ─► k merge chunks ─► join
 //
 // Leaves sort `leaf_elems` elements with a sequential mergesort (log2
 // passes over the region and its buffer). Buffers alternate between the

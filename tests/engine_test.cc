@@ -106,7 +106,9 @@ TEST(Engine, IndependentTasksRunInParallel) {
 TEST(Engine, DependenceChainSerializes) {
   DagBuilder b;
   TaskId prev = b.add_task({}, {RefBlock::compute(100)});
-  for (int i = 1; i < 5; ++i) prev = b.add_task({prev}, {RefBlock::compute(100)});
+  for (int i = 1; i < 5; ++i) {
+    prev = b.add_task({prev}, {RefBlock::compute(100)});
+  }
   auto dag = b.finish();
   PdfScheduler s;
   EXPECT_EQ(run(dag, tiny_config(4), s).cycles, 500u);
@@ -161,7 +163,8 @@ TEST(Engine, WriteInvalidatesOtherL1Copies) {
   // Core A reads a line (cached in its L1); core B then writes it; A's
   // next read must miss L1 (go to L2), seen as invalidations > 0.
   DagBuilder b;
-  const TaskId a = b.add_task({}, {RefBlock::stride_ref(0, 8, 128, false, 200)});
+  const TaskId a =
+      b.add_task({}, {RefBlock::stride_ref(0, 8, 128, false, 200)});
   b.add_task({}, {RefBlock::compute(100),
                   RefBlock::stride_ref(0, 8, 128, true, 1)});
   b.add_task({a}, {RefBlock::stride_ref(0, 8, 128, false, 1)});

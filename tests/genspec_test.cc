@@ -1,0 +1,152 @@
+// GenSpec parser: the grammar accepts every documented form, and every
+// malformed/out-of-range input fails with a descriptive error instead of
+// silently defaulting (the generator's validation contract).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "gen/genspec.h"
+
+namespace cachesched {
+namespace {
+
+/// Expects parse(spec) to throw std::invalid_argument whose message
+/// contains `needle` (so error messages stay self-explanatory).
+void expect_parse_error(const std::string& spec, const std::string& needle) {
+  try {
+    GenSpec::parse(spec);
+    FAIL() << "parse(\"" << spec << "\") did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "error for \"" << spec << "\" was: " << e.what();
+  }
+}
+
+TEST(GenSpecParse, BareFamilyUsesDefaults) {
+  const GenSpec s = GenSpec::parse("forkjoin");
+  EXPECT_EQ(s.family, GenFamily::kForkJoin);
+  EXPECT_EQ(s.ws_bytes, 16u * 1024);
+  EXPECT_EQ(s.share, 0.0);
+  EXPECT_EQ(s.reuse, ReuseProfile::kStream);
+  EXPECT_EQ(s.num_tasks(), 4u * (8 + 2));
+}
+
+TEST(GenSpecParse, FullSpecRoundTrips) {
+  const std::string spec =
+      "dnc:depth=5,fanout=3,ws=64K,share=0.3,shared=1M,reuse=loop,passes=2,"
+      "seed=7,ipr=12";
+  const GenSpec s = GenSpec::parse(spec);
+  EXPECT_EQ(s.family, GenFamily::kDnc);
+  EXPECT_EQ(s.depth, 5u);
+  EXPECT_EQ(s.fanout, 3u);
+  EXPECT_EQ(s.ws_bytes, 64u * 1024);
+  EXPECT_DOUBLE_EQ(s.share, 0.3);
+  EXPECT_EQ(s.shared_bytes, 1u * 1024 * 1024);
+  EXPECT_EQ(s.reuse, ReuseProfile::kLoop);
+  EXPECT_EQ(s.passes, 2u);
+  EXPECT_EQ(s.seed, 7u);
+  EXPECT_EQ(s.instr_per_ref, 12u);
+  // canonical() is itself parseable and a fixed point.
+  const GenSpec r = GenSpec::parse(s.canonical());
+  EXPECT_EQ(r.canonical(), s.canonical());
+}
+
+TEST(GenSpecParse, CanonicalPreservesFullDoublePrecision) {
+  // share/p must round-trip exactly (shortest decimal, not 6-digit
+  // truncation): Workload::params is recorded in sweep output and must
+  // reproduce the identical workload.
+  const GenSpec s =
+      GenSpec::parse("layered:layers=3,width=4,p=0.123456789,share=0.33333");
+  EXPECT_NE(s.canonical().find("p=0.123456789"), std::string::npos)
+      << s.canonical();
+  const GenSpec r = GenSpec::parse(s.canonical());
+  EXPECT_DOUBLE_EQ(r.edge_prob, s.edge_prob);
+  EXPECT_DOUBLE_EQ(r.share, s.share);
+  EXPECT_EQ(r.canonical(), s.canonical());
+}
+
+TEST(GenSpecParse, SizeSuffixes) {
+  EXPECT_EQ(GenSpec::parse("dnc:ws=512").ws_bytes, 512u);
+  EXPECT_EQ(GenSpec::parse("dnc:ws=8k").ws_bytes, 8u * 1024);
+  EXPECT_EQ(GenSpec::parse("dnc:ws=2M").ws_bytes, 2u * 1024 * 1024);
+  EXPECT_EQ(GenSpec::parse("stencil:ws=256M,tiles=2,steps=1").ws_bytes,
+            256ull * 1024 * 1024);
+}
+
+TEST(GenSpecParse, EveryFamilyParses) {
+  for (const std::string& fam : GenSpec::family_names()) {
+    const GenSpec s = GenSpec::parse(fam);
+    EXPECT_EQ(s.family_name(), fam);
+    EXPECT_GT(s.num_tasks(), 0u);
+    EXPECT_TRUE(GenSpec::is_family(fam));
+  }
+  EXPECT_EQ(GenSpec::family_names().size(), 5u);
+  EXPECT_FALSE(GenSpec::is_family("mergesort"));
+}
+
+TEST(GenSpecParse, UnknownFamilyListsKnown) {
+  expect_parse_error("bogus:depth=3", "unknown family");
+  expect_parse_error("bogus", "stencil");  // message lists the families
+  expect_parse_error("", "unknown family");
+}
+
+TEST(GenSpecParse, UnknownKeyListsFamilyKeys) {
+  expect_parse_error("dnc:wat=3", "unknown key");
+  // forkjoin's keys don't apply to dnc; the error names the valid ones.
+  expect_parse_error("dnc:stages=3", "depth");
+  expect_parse_error("stencil:fanout=2", "tiles");
+}
+
+TEST(GenSpecParse, MalformedValues) {
+  expect_parse_error("dnc:depth=abc", "not a valid integer");
+  expect_parse_error("dnc:depth=", "has no value");
+  expect_parse_error("dnc:depth=4x", "not a valid integer");
+  expect_parse_error("dnc:ws=64X", "not a valid size");
+  expect_parse_error("dnc:depth=-3", "not a valid unsigned integer");
+  expect_parse_error("dnc:seed=-1", "not a valid unsigned integer");
+  expect_parse_error("dnc:seed=99999999999999999999", "overflows");
+  expect_parse_error("dnc:share=lots", "not a valid number");
+  expect_parse_error("dnc:depth", "not key=value");
+  expect_parse_error("dnc:=4", "not key=value");
+}
+
+TEST(GenSpecParse, OutOfRangeValues) {
+  expect_parse_error("dnc:depth=0", "out of range");
+  expect_parse_error("dnc:depth=21", "out of range");
+  expect_parse_error("dnc:fanout=1", "out of range");
+  expect_parse_error("dnc:share=1.5", "out of range");
+  expect_parse_error("dnc:share=0.95", "out of range");
+  expect_parse_error("dnc:ws=1", "out of range");
+  expect_parse_error("dnc:passes=0", "out of range");
+  expect_parse_error("dnc:ipr=0", "out of range");
+  expect_parse_error("layered:p=0", "p must be > 0");
+  expect_parse_error("layered:p=1.01", "out of range");
+}
+
+TEST(GenSpecParse, StructuralErrors) {
+  expect_parse_error("dnc:depth=4,depth=5", "duplicate key");
+  expect_parse_error("dnc:depth=4,,fanout=2", "stray comma");
+  expect_parse_error("dnc:depth=4,", "stray comma");
+}
+
+TEST(GenSpecParse, RejectsAbsurdExpansions) {
+  // 16^20 leaves: caught by the task-count cap, not by an hour-long build.
+  expect_parse_error("dnc:depth=20,fanout=16", "cap");
+  // Task count fine (2^10 leaves) but the root combine would sweep the
+  // whole 256M * 1024 range.
+  expect_parse_error("dnc:depth=10,fanout=2,ws=256M", "root combine");
+}
+
+TEST(GenSpecParse, NumTasksMatchesFamilyShape) {
+  EXPECT_EQ(GenSpec::parse("dnc:depth=2,fanout=2").num_tasks(),
+            4u + 2 * 3);  // 4 leaves + (divide+combine) per internal node
+  EXPECT_EQ(GenSpec::parse("forkjoin:stages=3,width=4").num_tasks(),
+            3u * (4 + 2));
+  EXPECT_EQ(GenSpec::parse("layered:layers=3,width=5").num_tasks(), 15u);
+  EXPECT_EQ(GenSpec::parse("pipeline:stages=3,items=4").num_tasks(), 12u);
+  EXPECT_EQ(GenSpec::parse("stencil:tiles=4,steps=3").num_tasks(), 12u);
+}
+
+}  // namespace
+}  // namespace cachesched

@@ -62,7 +62,8 @@ TEST_P(NativePolicies, MergesortSortsCorrectly) {
   std::vector<int> buf(data.size());
   auto expected = data;
   std::sort(expected.begin(), expected.end());
-  pool.run([&] { parallel_mergesort(pool, data.data(), buf.data(), data.size()); });
+  pool.run(
+      [&] { parallel_mergesort(pool, data.data(), buf.data(), data.size()); });
   EXPECT_EQ(data, expected);
 }
 

@@ -54,8 +54,9 @@ TEST(Registry, ContainsOnlyRegisteredNames) {
 }
 
 TEST(Registry, CustomRegistrationIsVisibleThroughLookup) {
-  SchedulerRegistrar reg("test-fifo-variant",
-                         [] { return std::make_unique<CentralFifoScheduler>(); });
+  SchedulerRegistrar reg("test-fifo-variant", [] {
+    return std::make_unique<CentralFifoScheduler>();
+  });
   EXPECT_TRUE(SchedulerRegistry::instance().contains("test-fifo-variant"));
   EXPECT_STREQ(make_scheduler("test-fifo-variant")->name(), "fifo");
 }

@@ -86,9 +86,10 @@ TEST(Stress, DiamondLattice) {
   EXPECT_EQ(dag.validate(), "");
   EXPECT_EQ(dag.node_depth(), kW + kH - 1u);
   for (int cores : {1, 8}) {
-    for (auto make : {+[]() -> Scheduler* { return new PdfScheduler; },
-                      +[]() -> Scheduler* { return new WsScheduler; },
-                      +[]() -> Scheduler* { return new CentralFifoScheduler; }}) {
+    for (auto make :
+         {+[]() -> Scheduler* { return new PdfScheduler; },
+          +[]() -> Scheduler* { return new WsScheduler; },
+          +[]() -> Scheduler* { return new CentralFifoScheduler; }}) {
       std::unique_ptr<Scheduler> s(make());
       CmpSimulator sim(minimal_config(cores));
       const SimResult r = sim.run(dag, *s);

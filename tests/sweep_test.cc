@@ -150,6 +150,26 @@ TEST(SweepRun, CustomFactoryAndQuantumOverride) {
   EXPECT_GT(res[0].result.cycles, 0u);
 }
 
+TEST(SweepRun, GeneratedSpecsMixWithSeedApps) {
+  // Seed apps and src/gen spec strings share one job matrix, and the
+  // byte-identical guarantee holds across worker counts for both.
+  const std::string gen_spec = "dnc:depth=3,fanout=2,ws=4K,share=0.2,seed=7";
+  SweepSpec spec;
+  spec.apps = {"matmul", gen_spec};
+  spec.scheds = {"pdf", "ws"};
+  spec.core_counts = {2};
+  spec.scales = {kScale};
+  const SweepResults serial = run_sweep(spec, {.workers = 1});
+  const SweepResults parallel = run_sweep(spec, {.workers = 4});
+  ASSERT_EQ(serial.size(), 4u);
+  EXPECT_EQ(serial.to_table().to_csv(), parallel.to_table().to_csv());
+  EXPECT_EQ(serial.to_json(), parallel.to_json());
+  const SweepRecord* r = serial.find(gen_spec, "pdf", 2);
+  ASSERT_NE(r, nullptr);
+  EXPECT_GT(r->result.cycles, 0u);
+  EXPECT_GT(r->num_tasks, 0u);
+}
+
 TEST(SweepRun, WorkerErrorsPropagate) {
   SweepSpec spec = small_spec();
   spec.apps = {"matmul", "no-such-app"};

@@ -74,12 +74,15 @@ TEST(Mergesort, SerialMergeVariantHasFewerTasks) {
   p.parallel_merge = false;
   const Workload serial = build_mergesort(p);
   check_workload(serial);
-  EXPECT_LT(serial.dag.num_tasks(), build_mergesort(small_ms()).dag.num_tasks());
+  EXPECT_LT(serial.dag.num_tasks(),
+            build_mergesort(small_ms()).dag.num_tasks());
   // Serial merges make the DAG deeper relative to its work.
   EXPECT_GT(static_cast<double>(serial.dag.weighted_depth()) /
                 static_cast<double>(serial.dag.total_work()),
-            static_cast<double>(build_mergesort(small_ms()).dag.weighted_depth()) /
-                static_cast<double>(build_mergesort(small_ms()).dag.total_work()));
+            static_cast<double>(
+                build_mergesort(small_ms()).dag.weighted_depth()) /
+                static_cast<double>(
+                    build_mergesort(small_ms()).dag.total_work()));
 }
 
 TEST(Mergesort, GroupHierarchyCoversSortSites) {
@@ -255,7 +258,8 @@ TEST_P(WorkloadSweep, QuicksortSizes) {
   check_workload(build_quicksort(p));
 }
 
-INSTANTIATE_TEST_SUITE_P(Sizes, WorkloadSweep, ::testing::Values(12, 13, 15, 16));
+INSTANTIATE_TEST_SUITE_P(Sizes, WorkloadSweep,
+                         ::testing::Values(12, 13, 15, 16));
 
 }  // namespace
 }  // namespace cachesched

@@ -8,6 +8,8 @@
 //   cachesched_cli replay --dag=join.dag --cores=8 [--sched=pdf]
 //                        [--scale=0.125]            # ...simulate many
 //   cachesched_cli configs                          # print Tables 2 and 3
+//   cachesched_cli list                             # registered schedulers
+//                                                   # and workloads
 //   cachesched_cli sweep --apps=mergesort,hashjoin,lu [--scheds=pdf,ws]
 //                        [--cores=1,2,4,8,16,32|all] [--scales=0.125,...]
 //                        [--tech=default|45nm] [--seq] [--jobs=N]
@@ -18,7 +20,12 @@
 //                        [--out=BENCH_sim.json]       # fixed perf suite;
 //                        diff two outputs with tools/perf_compare
 //
-// Exit code 0 on success (2 on unknown flags); errors to stderr.
+// Everywhere an app name is accepted (--app, --apps), a synthetic
+// generator spec like "dnc:depth=8,fanout=4,ws=64K,share=0.3" works too
+// (grammar: src/gen/genspec.h; `list` prints the families).
+//
+// Exit code 0 on success (2 on unknown flags/subcommands); errors to
+// stderr.
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -28,6 +35,7 @@
 #include "core/dag_io.h"
 #include "exp/sweep.h"
 #include "harness/apps.h"
+#include "harness/workload_registry.h"
 #include "perf/suite.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -44,7 +52,8 @@ CmpConfig config_from_args(const CliArgs& args) {
   const double scale = args.get_double("scale", 0.125);
   cfg = cfg.scaled(scale);
   if (args.has("l2-hit")) {
-    cfg.l2_hit_cycles = static_cast<int>(args.get_int("l2-hit", cfg.l2_hit_cycles));
+    cfg.l2_hit_cycles =
+        static_cast<int>(args.get_int("l2-hit", cfg.l2_hit_cycles));
   }
   if (args.has("mem-latency")) {
     cfg.mem_latency_cycles =
@@ -92,7 +101,7 @@ int cmd_run(const CliArgs& args) {
   opt.scale = args.get_double("scale", 0.125);
   opt.mergesort_task_ws = static_cast<uint64_t>(args.get_int("task-ws", 0));
   opt.fine_grained = args.get_bool("fine-grained", true);
-  const Workload w = make_app(args.get("app", "mergesort"), cfg, opt);
+  const Workload w = make_workload(args.get("app", "mergesort"), cfg, opt);
   std::cout << w.name << ": " << w.params << " (" << w.dag.num_tasks()
             << " tasks, " << w.dag.total_refs() << " refs)\n";
   report(w.dag, cfg, sched_list(args));
@@ -108,7 +117,7 @@ int cmd_trace(const CliArgs& args) {
   const CmpConfig cfg = config_from_args(args);
   AppOptions opt;
   opt.scale = args.get_double("scale", 0.125);
-  const Workload w = make_app(args.get("app", "mergesort"), cfg, opt);
+  const Workload w = make_workload(args.get("app", "mergesort"), cfg, opt);
   save_dag(w.dag, out);
   std::cout << "wrote " << w.dag.num_tasks() << " tasks / "
             << w.dag.total_refs() << " refs to " << out << "\n";
@@ -130,7 +139,8 @@ int cmd_replay(const CliArgs& args) {
 
 int cmd_sweep(const CliArgs& args) {
   SweepSpec spec;
-  spec.apps = args.get_list("apps", "mergesort,hashjoin,lu");
+  // split_workload_list keeps generator specs with embedded commas whole.
+  spec.apps = split_workload_list(args.get("apps", "mergesort,hashjoin,lu"));
   if (spec.apps.size() == 1 && spec.apps[0] == "all") spec.apps = known_apps();
   spec.scheds = args.get_list("scheds", "pdf,ws");
   if (args.get("cores", "") == "all") {
@@ -193,7 +203,7 @@ int cmd_perf(const CliArgs& args) {
   perf::SuiteOptions opt;
   opt.quick = args.get_bool("quick", false);
   opt.reps = static_cast<int>(args.get_int("reps", 0));
-  if (args.has("apps")) opt.apps = args.get_list("apps", "");
+  if (args.has("apps")) opt.apps = split_workload_list(args.get("apps", ""));
   const std::string out = args.get("out", "BENCH_sim.json");
   if (const int rc = args.check_unused()) return rc;
 
@@ -211,6 +221,18 @@ int cmd_perf(const CliArgs& args) {
   return 0;
 }
 
+int cmd_list() {
+  std::cout << "schedulers:\n";
+  for (const auto& name : known_schedulers()) std::cout << "  " << name << "\n";
+  std::cout << "\nworkloads:\n";
+  Table t({"name", "kind"});
+  for (const auto& [name, kind] : WorkloadRegistry::instance().entries()) {
+    t.add_row({name, kind});
+  }
+  t.emit();
+  return 0;
+}
+
 int cmd_configs() {
   auto print = [](const char* title, const std::vector<CmpConfig>& v) {
     std::cout << "\n" << title << "\n";
@@ -222,8 +244,8 @@ int cmd_configs() {
 }
 
 int usage() {
-  std::cerr << "usage: cachesched_cli {run|trace|replay|configs|sweep|perf} "
-               "[options]\n"
+  std::cerr << "usage: cachesched_cli "
+               "{run|trace|replay|configs|list|sweep|perf} [options]\n"
                "see the header of tools/cachesched_cli.cc for options\n";
   return 2;
 }
@@ -240,6 +262,7 @@ int main(int argc, char** argv) {
     else if (cmd == "trace") rc = cmd_trace(args);
     else if (cmd == "replay") rc = cmd_replay(args);
     else if (cmd == "configs") rc = cmd_configs();
+    else if (cmd == "list") rc = cmd_list();
     else if (cmd == "sweep") rc = cmd_sweep(args);
     else if (cmd == "perf") rc = cmd_perf(args);
     else return usage();
