@@ -51,10 +51,12 @@ void BM_LruStackAccess(benchmark::State& state) {
 BENCHMARK(BM_LruStackAccess);
 
 void BM_TraceCursorStride(benchmark::State& state) {
-  const RefBlock b = RefBlock::stride_ref(0, 1u << 20, 128, false, 4);
+  std::vector<InterleaveSide> side;
+  const PackedRef b =
+      pack_ref(RefBlock::stride_ref(0, 1u << 20, 128, false, 4), &side);
   uint64_t sum = 0;
   for (auto _ : state) {
-    TraceCursor c(&b, 1);
+    TraceCursor c(&b, 1, side.data());
     for (TraceOp op = c.next(); op.kind != TraceOp::kDone; op = c.next()) {
       sum += op.addr;
     }
@@ -68,10 +70,11 @@ void BM_TraceCursorInterleave(benchmark::State& state) {
   StreamRef s[3] = {{0, 1u << 16, false},
                     {1u << 30, 1u << 16, false},
                     {2u << 30, 1u << 17, true}};
-  const RefBlock b = RefBlock::interleave(s, 3, 128, 4);
+  std::vector<InterleaveSide> side;
+  const PackedRef b = pack_ref(RefBlock::interleave(s, 3, 128, 4), &side);
   uint64_t sum = 0;
   for (auto _ : state) {
-    TraceCursor c(&b, 1);
+    TraceCursor c(&b, 1, side.data());
     for (TraceOp op = c.next(); op.kind != TraceOp::kDone; op = c.next()) {
       sum += op.addr;
     }

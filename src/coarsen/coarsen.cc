@@ -117,8 +117,7 @@ TaskDag coarsen_dag(const TaskDag& dag,
     if (t > 0 && node[t] == node[t - 1]) continue;
     blocks.clear();
     for (TaskId m = t; m < n && node[m] == node[t]; ++m) {
-      const auto span = dag.blocks(m);
-      blocks.insert(blocks.end(), span.begin(), span.end());
+      for (const PackedRef& p : dag.blocks(m)) blocks.push_back(dag.unpack(p));
     }
     const auto& par = parents[node[t]];
     b.add_task(std::span<const TaskId>(par.data(), par.size()),

@@ -122,7 +122,7 @@ TaskId DagBuilder::add_task(std::span<const TaskId> parents,
   for (const RefBlock& b : blocks) {
     t.work += b.total_instr();
     dag_.total_refs_ += b.total_refs();
-    dag_.blocks_.push_back(b);
+    dag_.blocks_.push_back(pack_ref(b, &dag_.inter_));
   }
   dag_.total_work_ += t.work;
   for (TaskId p : parents) {

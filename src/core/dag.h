@@ -59,14 +59,26 @@ class TaskDag {
     return {child_edges_.data() + n.first_child, n.num_children};
   }
 
-  std::span<const RefBlock> blocks(TaskId t) const {
+  /// The task's reference blocks in the compact storage form; kInterleave
+  /// blocks index into interleave_data().
+  std::span<const PackedRef> blocks(TaskId t) const {
     const Task& n = tasks_[t];
     return {blocks_.data() + n.first_block, n.num_blocks};
   }
 
+  /// Side table holding kInterleave stream data (PackedRef::side_index).
+  const InterleaveSide* interleave_data() const { return inter_.data(); }
+
+  /// Reconstructs the builder-facing descriptor of one of this DAG's
+  /// packed blocks (used when re-building a derived DAG, e.g. coarsening).
+  RefBlock unpack(const PackedRef& p) const {
+    return unpack_ref(p, inter_.data());
+  }
+
   TraceCursor cursor(TaskId t) const {
     const Task& n = tasks_[t];
-    return TraceCursor(blocks_.data() + n.first_block, n.num_blocks);
+    return TraceCursor(blocks_.data() + n.first_block, n.num_blocks,
+                       inter_.data());
   }
 
   /// Tasks with no parents, in sequential order.
@@ -94,7 +106,8 @@ class TaskDag {
   friend class DagBuilder;
   friend TaskDag load_dag(const std::string& path);  // core/dag_io.h
   std::vector<Task> tasks_;
-  std::vector<RefBlock> blocks_;
+  std::vector<PackedRef> blocks_;        // flat arena, 32 B per block
+  std::vector<InterleaveSide> inter_;    // kInterleave stream side table
   std::vector<TaskId> child_edges_;
   std::vector<TaskGroup> groups_;
   std::vector<TaskId> roots_;

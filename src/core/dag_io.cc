@@ -102,7 +102,9 @@ void save_dag(const TaskDag& dag, const std::string& path) {
     }
   }
 
-  // Tasks, blocks, edges (reassembled from public accessors).
+  // Tasks, blocks, edges (reassembled from public accessors). Blocks are
+  // written in the builder-facing RefBlock form, so the file format is
+  // independent of the in-memory packed layout.
   std::vector<Task> tasks;
   std::vector<RefBlock> blocks;
   std::vector<TaskId> edges;
@@ -111,7 +113,7 @@ void save_dag(const TaskDag& dag, const std::string& path) {
     Task n = dag.task(t);
     n.first_block = static_cast<uint32_t>(blocks.size());
     n.first_child = static_cast<uint32_t>(edges.size());
-    for (const RefBlock& b : dag.blocks(t)) blocks.push_back(b);
+    for (const PackedRef& b : dag.blocks(t)) blocks.push_back(dag.unpack(b));
     for (TaskId c : dag.children(t)) edges.push_back(c);
     tasks.push_back(n);
   }
@@ -157,7 +159,7 @@ TaskDag load_dag(const std::string& path) {
 
   TaskDag dag;
   dag.tasks_ = read_vec<Task>(f, kMaxElems);
-  dag.blocks_ = read_vec<RefBlock>(f, kMaxElems);
+  const std::vector<RefBlock> raw_blocks = read_vec<RefBlock>(f, kMaxElems);
   dag.child_edges_ = read_vec<TaskId>(f, kMaxElems);
 
   const uint64_t num_groups = read_pod<uint64_t>(f);
@@ -185,7 +187,7 @@ TaskDag load_dag(const std::string& path) {
   dag.total_work_ = 0;
   dag.total_refs_ = 0;
   for (const Task& t : dag.tasks_) {
-    if (uint64_t{t.first_block} + t.num_blocks > dag.blocks_.size() ||
+    if (uint64_t{t.first_block} + t.num_blocks > raw_blocks.size() ||
         uint64_t{t.first_child} + t.num_children > dag.child_edges_.size()) {
       throw std::runtime_error("dag_io: task ranges out of bounds");
     }
@@ -194,12 +196,13 @@ TaskDag load_dag(const std::string& path) {
   // RefBlocks are read raw; reject values the factories can never produce
   // before the expansion paths trust them (a zero instr_per_ref, a bad
   // kind byte or an out-of-range stream count would corrupt a replay).
-  for (const RefBlock& b : dag.blocks_) {
+  for (const RefBlock& b : raw_blocks) {
     if (b.kind > RefKind::kInterleave) {
       throw std::runtime_error("dag_io: invalid block kind");
     }
-    if (b.kind != RefKind::kCompute && b.instr_per_ref == 0) {
-      throw std::runtime_error("dag_io: block with instr_per_ref == 0");
+    if (b.kind != RefKind::kCompute &&
+        (b.instr_per_ref == 0 || b.instr_per_ref > PackedRef::kIprMask)) {
+      throw std::runtime_error("dag_io: block instr_per_ref out of range");
     }
     if (b.kind == RefKind::kRandom && b.region_len == 0) {
       throw std::runtime_error("dag_io: random block with empty region");
@@ -216,6 +219,12 @@ TaskDag load_dag(const std::string& path) {
       }
     }
     dag.total_refs_ += b.total_refs();
+  }
+  // Pack into the in-memory arena; indices are preserved one-to-one, so
+  // the tasks' first_block/num_blocks ranges stay valid.
+  dag.blocks_.reserve(raw_blocks.size());
+  for (const RefBlock& b : raw_blocks) {
+    dag.blocks_.push_back(pack_ref(b, &dag.inter_));
   }
   for (TaskId t = 0; t < dag.tasks_.size(); ++t) {
     if (dag.tasks_[t].num_parents == 0) dag.roots_.push_back(t);

@@ -22,10 +22,20 @@
 // instruction itself plus the surrounding scalar work (compares, moves,
 // index arithmetic, and the L1-hit accesses to the other words of the
 // line). This is what makes "L2 misses per 1000 instructions" meaningful.
+//
+// Two representations exist. `RefBlock` is the builder-facing descriptor
+// (one struct with a field for every kind, convenient to construct).
+// Storage and replay use `PackedRef`: a 32-byte tagged record covering the
+// common kinds directly, with kInterleave stream data hash-free in a side
+// table (`InterleaveSide`). The packed form roughly halves trace footprint
+// and keeps the simulator's refill scan sequential and cache-dense;
+// pack_ref/unpack_ref convert losslessly between the two.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
+#include <stdexcept>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -42,6 +52,8 @@ struct StreamRef {
 
 inline constexpr int kMaxStreams = 3;
 
+/// Builder-facing reference-block descriptor (see file comment). Workload
+/// generators construct these; DagBuilder packs them for storage.
 struct RefBlock {
   RefKind kind = RefKind::kCompute;
   bool is_write = false;
@@ -119,6 +131,126 @@ struct RefBlock {
   uint64_t total_refs() const { return kind == RefKind::kCompute ? 0 : count; }
 };
 
+/// kInterleave stream data, stored once per interleave block in a side
+/// table next to the packed arena (see PackedRef).
+struct InterleaveSide {
+  uint32_t line_bytes = 128;
+  uint32_t num_streams = 0;
+  StreamRef streams[kMaxStreams];
+};
+
+/// Storage/replay form of a reference block: 32 bytes, tagged. The three
+/// common kinds are self-contained; kInterleave keeps its stream list in
+/// an InterleaveSide at `side_index()`. Field use per kind:
+///
+///            a            b            c
+///  kCompute  instr        -            -
+///  kStride   base         stride       -
+///  kRandom   base         region_len   seed
+///  kInterl.  side index   -            -
+struct PackedRef {
+  uint32_t count = 0;  // total references (0 for kCompute)
+  uint32_t meta = 0;   // kind(2) | is_write(1) | instr_per_ref(29)
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+
+  static constexpr uint32_t kIprBits = 29;
+  static constexpr uint32_t kIprMask = (1u << kIprBits) - 1;
+
+  RefKind kind() const { return static_cast<RefKind>(meta >> 30); }
+  bool is_write() const { return (meta >> kIprBits) & 1u; }
+  uint32_t instr_per_ref() const { return meta & kIprMask; }
+
+  uint64_t instr() const { return a; }       // kCompute
+  uint64_t base() const { return a; }        // kStride/kRandom
+  uint64_t region_len() const { return b; }  // kRandom
+  uint64_t seed() const { return c; }        // kRandom
+  int64_t stride() const { return static_cast<int64_t>(b); }  // kStride
+  uint32_t side_index() const {                               // kInterleave
+    return static_cast<uint32_t>(a);
+  }
+
+  /// Total instructions this block contributes.
+  uint64_t total_instr() const {
+    return kind() == RefKind::kCompute
+               ? a
+               : static_cast<uint64_t>(count) * instr_per_ref();
+  }
+
+  /// Total memory references this block contributes.
+  uint64_t total_refs() const {
+    return kind() == RefKind::kCompute ? 0 : count;
+  }
+};
+
+static_assert(sizeof(PackedRef) == 32, "PackedRef must stay one third of a "
+                                       "typical cache line");
+
+/// Packs a descriptor into the 32-byte storage form, appending kInterleave
+/// stream data to `side`. Throws if instr_per_ref does not fit its 29-bit
+/// field (no real workload comes close).
+inline PackedRef pack_ref(const RefBlock& b,
+                          std::vector<InterleaveSide>* side) {
+  PackedRef p;
+  const uint32_t ipr = b.kind == RefKind::kCompute ? 0 : b.instr_per_ref;
+  if (ipr > PackedRef::kIprMask) {
+    throw std::invalid_argument(
+        "instr_per_ref exceeds the packed 29-bit field");
+  }
+  p.meta = (static_cast<uint32_t>(b.kind) << 30) |
+           (b.is_write ? 1u << PackedRef::kIprBits : 0u) | ipr;
+  switch (b.kind) {
+    case RefKind::kCompute:
+      p.a = b.instr;
+      break;
+    case RefKind::kStride:
+      p.count = b.count;
+      p.a = b.base;
+      p.b = static_cast<uint64_t>(b.stride);
+      break;
+    case RefKind::kRandom:
+      p.count = b.count;
+      p.a = b.base;
+      p.b = b.region_len;
+      p.c = b.seed;
+      break;
+    case RefKind::kInterleave: {
+      p.count = b.count;
+      p.a = side->size();
+      InterleaveSide s;
+      s.line_bytes = b.line_bytes;
+      s.num_streams = b.num_streams;
+      for (int i = 0; i < b.num_streams; ++i) s.streams[i] = b.streams[i];
+      side->push_back(s);
+      break;
+    }
+  }
+  return p;
+}
+
+/// Inverse of pack_ref: reconstructs the descriptor a factory would have
+/// produced (unused fields at their defaults), so pack/unpack round-trips
+/// byte-identically through the dag_io file format.
+inline RefBlock unpack_ref(const PackedRef& p, const InterleaveSide* side) {
+  switch (p.kind()) {
+    case RefKind::kCompute:
+      return RefBlock::compute(p.instr());
+    case RefKind::kStride:
+      return RefBlock::stride_ref(p.base(), p.count, p.stride(), p.is_write(),
+                                  p.instr_per_ref());
+    case RefKind::kRandom:
+      return RefBlock::random_ref(p.base(), p.region_len(), p.count, p.seed(),
+                                  p.is_write(), p.instr_per_ref());
+    case RefKind::kInterleave: {
+      const InterleaveSide& s = side[p.side_index()];
+      return RefBlock::interleave(s.streams, static_cast<int>(s.num_streams),
+                                  s.line_bytes, p.instr_per_ref());
+    }
+  }
+  return RefBlock{};  // unreachable; kind() is 2 bits
+}
+
 /// One expanded operation from a trace.
 struct TraceOp {
   enum Kind : uint8_t { kDone, kCompute, kMem } kind = kDone;
@@ -127,25 +259,26 @@ struct TraceOp {
   bool is_write = false;
 };
 
-/// Lazily expands a span of RefBlocks into TraceOps. Copyable and cheap;
+/// Lazily expands a span of PackedRefs into TraceOps. Copyable and cheap;
 /// the hot path (next()) is inline. Expansion is a pure function of the
 /// blocks, so simulator and profiler see identical reference streams.
 class TraceCursor {
  public:
   TraceCursor() = default;
-  TraceCursor(const RefBlock* blocks, uint32_t num_blocks)
-      : blocks_(blocks), num_blocks_(num_blocks) {}
+  TraceCursor(const PackedRef* blocks, uint32_t num_blocks,
+              const InterleaveSide* side)
+      : blocks_(blocks), side_(side), num_blocks_(num_blocks) {}
 
   TraceOp next() {
     while (bi_ < num_blocks_) {
-      const RefBlock& b = blocks_[bi_];
-      switch (b.kind) {
+      const PackedRef& b = blocks_[bi_];
+      switch (b.kind()) {
         case RefKind::kCompute: {
           advance_block();
-          if (b.instr == 0) continue;
+          if (b.instr() == 0) continue;
           TraceOp op;
           op.kind = TraceOp::kCompute;
-          op.instr = b.instr;
+          op.instr = b.instr();
           return op;
         }
         case RefKind::kStride: {
@@ -154,9 +287,9 @@ class TraceCursor {
             continue;
           }
           TraceOp op = mem_op(b);
-          op.addr = b.base + static_cast<uint64_t>(
-                                 static_cast<int64_t>(ri_) * b.stride);
-          op.is_write = b.is_write;
+          op.addr = b.base() + static_cast<uint64_t>(
+                                   static_cast<int64_t>(ri_) * b.stride());
+          op.is_write = b.is_write();
           ++ri_;
           return op;
         }
@@ -166,8 +299,8 @@ class TraceCursor {
             continue;
           }
           TraceOp op = mem_op(b);
-          op.addr = b.base + mix64(b.seed + ri_) % b.region_len;
-          op.is_write = b.is_write;
+          op.addr = b.base() + mix64(b.seed() + ri_) % b.region_len();
+          op.is_write = b.is_write();
           ++ri_;
           return op;
         }
@@ -176,30 +309,31 @@ class TraceCursor {
             advance_block();
             continue;
           }
+          const InterleaveSide& sd = side_[b.side_index()];
           // Proportional schedule: stream i should have emitted
           // floor((s+1) * lines_i / total) lines after step s.
           int pick = -1;
-          for (int i = 0; i < b.num_streams; ++i) {
-            const uint64_t target =
-                (static_cast<uint64_t>(ri_) + 1) * b.streams[i].lines / b.count;
+          for (uint32_t i = 0; i < sd.num_streams; ++i) {
+            const uint64_t target = (static_cast<uint64_t>(ri_) + 1) *
+                                    sd.streams[i].lines / b.count;
             if (em_[i] < target) {
-              pick = i;
+              pick = static_cast<int>(i);
               break;
             }
           }
           if (pick < 0) {  // floor rounding gap: emit any unfinished stream
-            for (int i = 0; i < b.num_streams; ++i) {
-              if (em_[i] < b.streams[i].lines) {
-                pick = i;
+            for (uint32_t i = 0; i < sd.num_streams; ++i) {
+              if (em_[i] < sd.streams[i].lines) {
+                pick = static_cast<int>(i);
                 break;
               }
             }
           }
           assert(pick >= 0);
           TraceOp op = mem_op(b);
-          op.addr = b.streams[pick].base +
-                    static_cast<uint64_t>(em_[pick]) * b.line_bytes;
-          op.is_write = b.streams[pick].is_write;
+          op.addr = sd.streams[pick].base +
+                    static_cast<uint64_t>(em_[pick]) * sd.line_bytes;
+          op.is_write = sd.streams[pick].is_write;
           ++em_[pick];
           ++ri_;
           return op;
@@ -212,10 +346,10 @@ class TraceCursor {
   bool done() const { return bi_ >= num_blocks_; }
 
  private:
-  static TraceOp mem_op(const RefBlock& b) {
+  static TraceOp mem_op(const PackedRef& b) {
     TraceOp op;
     op.kind = TraceOp::kMem;
-    op.instr = b.instr_per_ref;
+    op.instr = b.instr_per_ref();
     return op;
   }
 
@@ -225,7 +359,8 @@ class TraceCursor {
     em_[0] = em_[1] = em_[2] = 0;
   }
 
-  const RefBlock* blocks_ = nullptr;
+  const PackedRef* blocks_ = nullptr;
+  const InterleaveSide* side_ = nullptr;
   uint32_t num_blocks_ = 0;
   uint32_t bi_ = 0;       // block index
   uint32_t ri_ = 0;       // reference index within block

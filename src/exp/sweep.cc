@@ -1,12 +1,15 @@
 #include "exp/sweep.h"
 
 #include <atomic>
+#include <bit>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 
 #include "harness/workload_registry.h"
 #include "util/json.h"
@@ -48,9 +51,32 @@ std::vector<CmpConfig> configs_for(const SweepSpec& spec, double scale) {
   return bases;
 }
 
-SweepRecord run_one(const SweepJob& job) {
-  const Workload w = job.factory ? job.factory(job.config, job.opt)
-                                 : make_workload(job.app, job.config, job.opt);
+Workload build_one(const SweepJob& job) {
+  return job.factory ? job.factory(job.config, job.opt)
+                     : make_workload(job.app, job.config, job.opt);
+}
+
+}  // namespace
+
+// The workload-relevant configuration signature is the capacity/geometry
+// fields a WorkloadBuilder may shape the workload from (see the contract
+// in harness/workload_registry.h). Timing-only fields (hit/latency
+// cycles, banking, dispatch cost) are excluded, so e.g. an L2-hit-time
+// ablation shares one workload across its points.
+std::string workload_key(const SweepJob& job) {
+  std::ostringstream os;
+  const AppOptions& o = job.opt;
+  const CmpConfig& c = job.config;
+  os << job.app << '\x1f' << std::bit_cast<uint64_t>(o.scale) << '\x1f'
+     << o.mergesort_task_ws << '\x1f' << o.fine_grained << '\x1f' << o.seed
+     << '\x1f' << c.cores << '\x1f' << c.l1_bytes << '\x1f' << c.l1_ways
+     << '\x1f' << c.l2_bytes << '\x1f' << c.l2_ways << '\x1f' << c.line_bytes;
+  return os.str();
+}
+
+namespace {
+
+SweepRecord run_one(const SweepJob& job, const Workload& w) {
   CmpConfig cfg = job.config;
   std::string sched = job.sched;
   if (sched == kSequentialSched) {
@@ -125,39 +151,112 @@ SweepResults run_sweep(std::vector<SweepJob> jobs,
     workers = static_cast<int>(std::thread::hardware_concurrency());
     if (workers <= 0) workers = 1;
   }
-  workers = static_cast<int>(std::min<size_t>(static_cast<size_t>(workers),
-                                              std::max<size_t>(total, 1)));
 
-  std::atomic<size_t> next{0};
   size_t completed = 0;  // guarded by mu, so callbacks see monotonic counts
-  std::mutex mu;         // guards completed, on_result and first_error
+  std::mutex mu;         // guards completed, callbacks and first_error
   std::exception_ptr first_error;
 
-  auto drain = [&] {
-    for (;;) {
-      const size_t i = next.fetch_add(1);
-      if (i >= total) return;
-      try {
-        records[i] = run_one(jobs[i]);
-        if (options.on_result) {
+  // Runs body(0..n) on the worker pool; the first exception is kept for
+  // the caller to rethrow.
+  auto parallel_for = [&](size_t n, auto&& body) {
+    std::atomic<size_t> next{0};
+    auto drain = [&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        try {
+          body(i);
+        } catch (...) {
           std::lock_guard<std::mutex> lock(mu);
-          options.on_result(records[i], ++completed, total);
+          if (!first_error) first_error = std::current_exception();
         }
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (!first_error) first_error = std::current_exception();
       }
+    };
+    const int w = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(workers), std::max<size_t>(n, 1)));
+    if (w <= 1) {
+      drain();
+      return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(w);
+    for (int t = 0; t < w; ++t) pool.emplace_back(drain);
+    for (std::thread& t : pool) t.join();
+  };
+
+  auto report = [&](size_t i) {
+    if (options.on_result) {
+      std::lock_guard<std::mutex> lock(mu);
+      options.on_result(records[i], ++completed, total);
     }
   };
 
-  if (workers <= 1) {
-    drain();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (int t = 0; t < workers; ++t) pool.emplace_back(drain);
-    for (std::thread& t : pool) t.join();
+  // Sharing off: the pre-cache behavior, including its memory profile —
+  // each job builds its own workload inside the job, so at most `workers`
+  // workloads are ever alive at once.
+  if (!options.share_workloads) {
+    parallel_for(total, [&](size_t i) {
+      const Workload w = build_one(jobs[i]);
+      if (options.on_workload_built) {
+        std::lock_guard<std::mutex> lock(mu);
+        options.on_workload_built(jobs[i].app);
+      }
+      records[i] = run_one(jobs[i], w);
+      report(i);
+    });
+    if (first_error) std::rethrow_exception(first_error);
+    return SweepResults(std::move(records));
   }
+
+  // Phase 1 — hash-cons workloads: one build slot per unique workload key
+  // (jobs with a factory get private slots), built in parallel before any
+  // simulation so every job starts from a finished, immutable workload.
+  // slot_job points at the first job of each slot.
+  std::vector<size_t> slot_of(total);
+  std::vector<const SweepJob*> slot_job;
+  {
+    std::unordered_map<std::string, size_t> by_key;
+    by_key.reserve(total);
+    for (size_t i = 0; i < total; ++i) {
+      const SweepJob& job = jobs[i];
+      if (job.factory) {
+        slot_of[i] = slot_job.size();
+        slot_job.push_back(&job);
+        continue;
+      }
+      const auto [it, inserted] =
+          by_key.emplace(workload_key(job), slot_job.size());
+      if (inserted) slot_job.push_back(&job);
+      slot_of[i] = it->second;
+    }
+  }
+  const size_t num_slots = slot_job.size();
+  std::vector<std::shared_ptr<const Workload>> built(num_slots);
+  // Jobs left per slot; the job that takes a slot's count to zero drops
+  // the slot's reference so big workloads free as the sweep drains
+  // instead of all living until the last job finishes.
+  std::unique_ptr<std::atomic<size_t>[]> slot_jobs_left(
+      new std::atomic<size_t>[num_slots]);
+  for (size_t s = 0; s < num_slots; ++s) slot_jobs_left[s] = 0;
+  for (size_t i = 0; i < total; ++i) ++slot_jobs_left[slot_of[i]];
+
+  parallel_for(num_slots, [&](size_t i) {
+    built[i] = std::make_shared<const Workload>(build_one(*slot_job[i]));
+    if (options.on_workload_built) {
+      std::lock_guard<std::mutex> lock(mu);
+      options.on_workload_built(slot_job[i]->app);
+    }
+  });
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Phase 2 — simulate. run_one never mutates the shared workload (the
+  // engine takes const TaskDag&), so jobs of one slot are independent.
+  parallel_for(total, [&](size_t i) {
+    const size_t slot = slot_of[i];
+    records[i] = run_one(jobs[i], *built[slot]);
+    if (slot_jobs_left[slot].fetch_sub(1) == 1) built[slot].reset();
+    report(i);
+  });
   if (first_error) std::rethrow_exception(first_error);
   return SweepResults(std::move(records));
 }
@@ -166,16 +265,39 @@ SweepResults run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   return run_sweep(expand(spec), options);
 }
 
+namespace {
+std::string find_key(const std::string& app, const std::string& sched,
+                     int cores, const std::string& tag) {
+  std::string key;
+  key.reserve(app.size() + sched.size() + tag.size() + 16);
+  key += app;
+  key += '\x1f';
+  key += sched;
+  key += '\x1f';
+  key += std::to_string(cores);
+  key += '\x1f';
+  key += tag;
+  return key;
+}
+}  // namespace
+
+SweepResults::SweepResults(std::vector<SweepRecord> records)
+    : records_(std::move(records)) {
+  find_index_.reserve(records_.size());
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const SweepRecord& r = records_[i];
+    // emplace keeps the first occurrence, matching the original
+    // first-match linear-scan semantics.
+    find_index_.emplace(
+        find_key(r.job.app, r.job.sched, r.job.config.cores, r.job.tag), i);
+  }
+}
+
 const SweepRecord* SweepResults::find(const std::string& app,
                                       const std::string& sched, int cores,
                                       const std::string& tag) const {
-  for (const SweepRecord& r : records_) {
-    if (r.job.app == app && r.job.sched == sched &&
-        r.job.config.cores == cores && r.job.tag == tag) {
-      return &r;
-    }
-  }
-  return nullptr;
+  const auto it = find_index_.find(find_key(app, sched, cores, tag));
+  return it == find_index_.end() ? nullptr : &records_[it->second];
 }
 
 Table SweepResults::to_table() const {

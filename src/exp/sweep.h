@@ -12,6 +12,27 @@
 // records — and therefore its table/CSV/JSON output — are byte-identical
 // for any worker count (tests/sweep_test.cc enforces this).
 //
+// Workload sharing: a sweep's jobs are a cross product, so many jobs
+// simulate the same workload (every scheduler at one (app, config), plus
+// the sequential baseline). run_sweep hash-conses workloads by (spec,
+// workload-relevant config signature, AppOptions): each unique workload is
+// built exactly once per sweep — in parallel on the worker pool, before
+// any simulation starts — and shared read-only across its jobs. Builders
+// are deterministic (see WorkloadBuilder) and simulation never mutates the
+// DAG, so shared and per-job-built workloads give byte-identical results
+// (tests/sweep_test.cc proves it); SweepOptions::share_workloads turns the
+// cache off for such comparisons. Jobs with a custom `factory` are never
+// shared (a std::function has no identity to key on).
+//
+// Two consequences of the build-ahead phase worth knowing: (1) every
+// unique workload of the sweep is resident at once at the end of the
+// build phase (slots free as their last job completes) — a sweep with
+// little sharing on a memory-constrained host can set share_workloads =
+// false to restore the O(workers) profile of per-job builds; (2) a
+// workload build error fails the sweep before any simulation starts
+// (fail-fast), so on_result does not fire for unaffected jobs the way it
+// did when builds happened inside each job.
+//
 // Typical use:
 //
 //   SweepSpec spec;
@@ -31,6 +52,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "harness/apps.h"
@@ -99,6 +121,14 @@ struct SweepSpec {
 /// before the scheduler jobs of each (app, configuration).
 std::vector<SweepJob> expand(const SweepSpec& spec);
 
+/// The workload-identity key run_sweep hash-conses builds by: the spec
+/// string, every AppOptions field, and the capacity/geometry
+/// configuration fields of the WorkloadBuilder contract. Two jobs with
+/// equal keys simulate the same workload. Exposed so tooling (e.g. the
+/// perf suite's build-vs-sim split) groups jobs exactly as the cache
+/// does; `factory` jobs are not covered (they are never shared).
+std::string workload_key(const SweepJob& job);
+
 /// A finished job. `result.scheduler` is the engine's name for the run
 /// ("pdf" for seq jobs); `job.sched` is the sweep identity.
 struct SweepRecord {
@@ -112,17 +142,24 @@ struct SweepRecord {
 struct SweepOptions {
   /// Worker threads; 0 = hardware concurrency, 1 = run inline.
   int workers = 0;
+  /// Build each unique workload once per sweep and share it read-only
+  /// across the jobs that simulate it (see file comment). false = every
+  /// job rebuilds its own workload (the pre-cache behavior; results are
+  /// byte-identical either way).
+  bool share_workloads = true;
   /// Called after each job finishes (serialized; `completed` counts
   /// finished jobs, not the record's index).
   std::function<void(const SweepRecord&, size_t completed, size_t total)>
       on_result;
+  /// Test/diagnostics hook: called once per unique workload actually
+  /// built (serialized), with the spec/label of the job that built it.
+  std::function<void(const std::string& app)> on_workload_built;
 };
 
 class SweepResults {
  public:
   SweepResults() = default;
-  explicit SweepResults(std::vector<SweepRecord> records)
-      : records_(std::move(records)) {}
+  explicit SweepResults(std::vector<SweepRecord> records);
 
   const std::vector<SweepRecord>& records() const { return records_; }
   bool empty() const { return records_.empty(); }
@@ -130,6 +167,8 @@ class SweepResults {
   const SweepRecord& operator[](size_t i) const { return records_[i]; }
 
   /// First record matching (app, sched, cores[, tag]); nullptr if none.
+  /// O(1): looks up a hash index built at construction, so concurrent
+  /// find() calls on a const SweepResults are safe.
   const SweepRecord* find(const std::string& app, const std::string& sched,
                           int cores, const std::string& tag = "") const;
 
@@ -146,6 +185,10 @@ class SweepResults {
 
  private:
   std::vector<SweepRecord> records_;
+  /// (app, sched, cores, tag) -> index of the first matching record;
+  /// built at construction (benches look up every sweep point, which was
+  /// quadratic with a linear scan per lookup).
+  std::unordered_map<std::string, size_t> find_index_;
 };
 
 /// Runs `jobs` on a worker pool; records are in job order regardless of

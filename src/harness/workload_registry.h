@@ -29,6 +29,14 @@ namespace cachesched {
 /// is a bare name). Builders must be deterministic: equal arguments must
 /// produce byte-identical workloads (the sweep engine's reproducibility
 /// guarantee extends through this call).
+///
+/// Contract: a builder may shape its workload only from the
+/// capacity/geometry fields of the CmpConfig — cores, l1_bytes, l1_ways,
+/// l2_bytes, l2_ways, line_bytes — never from timing fields (hit/latency
+/// cycles, banking, dispatch cost). The sweep engine's workload cache
+/// (exp/sweep.h) keys on exactly those fields plus the spec and
+/// AppOptions; a builder that read a timing field would be shared across
+/// jobs where it should differ.
 using WorkloadBuilder = std::function<Workload(
     const std::string& params, const CmpConfig&, const AppOptions&)>;
 

@@ -1,6 +1,10 @@
 #include "perf/suite.h"
 
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "core/trace.h"
 #include "exp/sweep.h"
@@ -69,14 +73,18 @@ Benchmark bench_lru_stack(double scale, int warmup, int reps) {
   return b;
 }
 
-Benchmark bench_sweep(int workers, double scale, int warmup, int reps,
-                      const char* name) {
+SweepSpec sweep_bench_spec(double scale) {
   SweepSpec spec;
   spec.apps = {"mergesort", "lu"};
   spec.scheds = {"pdf", "ws"};
   spec.core_counts = {2, 4};
   spec.scales = {scale};
-  const std::vector<SweepJob> jobs = expand(spec);
+  return spec;
+}
+
+Benchmark bench_sweep(int workers, double scale, int warmup, int reps,
+                      const char* name) {
+  const std::vector<SweepJob> jobs = expand(sweep_bench_spec(scale));
   SweepOptions opt;
   opt.workers = workers;
   const Stats stats = measure(warmup, reps, [&] { run_sweep(jobs, opt); });
@@ -87,6 +95,61 @@ Benchmark bench_sweep(int workers, double scale, int warmup, int reps,
   b.stats = stats;
   b.value = static_cast<double>(jobs.size()) / stats.min;
   return b;
+}
+
+/// Splits sweep cost into its two phases over the bench_sweep job matrix:
+/// workload construction (the cost the sweep cache pays once per unique
+/// workload instead of once per job) and pure simulation. Both run
+/// serially so the two numbers are directly comparable.
+std::pair<Benchmark, Benchmark> bench_build_vs_sim(double scale, int warmup,
+                                                   int reps) {
+  const std::vector<SweepJob> jobs = expand(sweep_bench_spec(scale));
+  // Unique workloads, grouped by the exact key the sweep cache uses, so
+  // this split stays honest if the bench spec grows new dimensions.
+  std::vector<const SweepJob*> unique;
+  std::vector<size_t> uidx(jobs.size());
+  std::unordered_map<std::string, size_t> groups;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const auto [it, inserted] =
+        groups.emplace(workload_key(jobs[i]), unique.size());
+    if (inserted) unique.push_back(&jobs[i]);
+    uidx[i] = it->second;
+  }
+  const Stats build_stats = measure(warmup, reps, [&] {
+    for (const SweepJob* j : unique) {
+      const Workload w = make_workload(j->app, j->config, j->opt);
+      if (w.dag.num_tasks() == 0) std::abort();  // defeat dead-code elim
+    }
+  });
+  Benchmark build;
+  build.name = "sweep/build_vs_sim/build";
+  build.metric = "builds_per_sec";
+  build.work_items = unique.size();
+  build.stats = build_stats;
+  build.value = static_cast<double>(unique.size()) / build_stats.min;
+
+  // Pre-built workloads, simulation only.
+  std::vector<Workload> built;
+  built.reserve(unique.size());
+  for (const SweepJob* j : unique) {
+    built.push_back(make_workload(j->app, j->config, j->opt));
+  }
+  const Stats sim_stats = measure(warmup, reps, [&] {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      const Workload& w = built[uidx[i]];
+      CmpSimulator sim(jobs[i].config);
+      const auto s = make_scheduler(jobs[i].sched);
+      const SimResult r = sim.run(w.dag, *s);
+      if (r.cycles == 0) std::abort();
+    }
+  });
+  Benchmark simb;
+  simb.name = "sweep/build_vs_sim/sim";
+  simb.metric = "jobs_per_sec";
+  simb.work_items = jobs.size();
+  simb.stats = sim_stats;
+  simb.value = static_cast<double>(jobs.size()) / sim_stats.min;
+  return {build, simb};
 }
 
 }  // namespace
@@ -124,12 +187,19 @@ Report run_suite(const SuiteOptions& options) {
 
   // Generator path: one synthetic spec per mode keeps BENCH_sim.json
   // tracking src/gen build + simulate throughput alongside the seed apps.
+  // The quick spec is sized so the measured repetition stays well above
+  // timer/scheduler noise (tens of milliseconds, not single-digit) — the
+  // CI engine/* gate compares this row against the baseline.
   const std::string gen_spec =
-      quick ? "dnc:depth=6,fanout=2,ws=16K,share=0.25,seed=7"
+      quick ? "dnc:depth=8,fanout=2,ws=32K,share=0.25,seed=7"
             : "dnc:depth=9,fanout=2,ws=32K,share=0.25,seed=7";
   add(bench_engine(gen_spec, "pdf", engine_scale, warmup, reps, "gen_dnc"));
 
   add(bench_lru_stack(quick ? 0.03125 : 0.0625, warmup, reps));
+
+  auto [build, sim] = bench_build_vs_sim(sweep_scale, warmup, reps);
+  add(std::move(build));
+  add(std::move(sim));
 
   const Benchmark serial =
       bench_sweep(1, sweep_scale, warmup, reps, "sweep/jobs_1");

@@ -10,7 +10,13 @@
 //                            over the mergesort reference stream;
 //   sweep/jobs_1 & jobs_N  — experiment-sweep engine throughput
 //                            (jobs_per_sec) serial vs. all workers, plus
-//                            sweep/scaling_x (the ratio).
+//                            sweep/scaling_x (the ratio);
+//   sweep/build_vs_sim/*   — the sweep's cost split into workload
+//                            construction (builds_per_sec over the unique
+//                            workloads; the part the sweep cache pays once
+//                            per workload instead of once per job) and
+//                            pure simulation (jobs_per_sec, pre-built
+//                            workloads).
 //
 // The suite emits the stable JSON schema of perf.h (BENCH_sim.json);
 // tools/perf_compare diffs two such files.

@@ -39,13 +39,14 @@ struct CoreState {
   TaskId task = kNoTask;
   uint64_t time = 0;
   uint64_t busy = 0;
-  // Trace expansion position within the current task's RefBlocks; advanced
-  // by refill(), which expands ops ahead of the simulation (expansion is a
-  // pure function of the blocks, so running ahead cannot diverge). The
-  // expansion mirrors TraceCursor::next() exactly — the profilers replay
-  // the same streams through TraceCursor, and tests/golden_sim_test.cc
-  // pins the engine's results against pre-optimization fixtures.
-  const RefBlock* blocks = nullptr;
+  // Trace expansion position within the current task's PackedRefs;
+  // advanced by refill(), which expands ops ahead of the simulation
+  // (expansion is a pure function of the blocks, so running ahead cannot
+  // diverge). The expansion mirrors TraceCursor::next() exactly — the
+  // profilers replay the same streams through TraceCursor, and
+  // tests/golden_sim_test.cc pins the engine's results against
+  // pre-optimization fixtures.
+  const PackedRef* blocks = nullptr;
   uint32_t num_blocks = 0;
   uint32_t bi = 0;             // block index
   uint32_t ri = 0;             // reference index within block
@@ -117,7 +118,7 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
   auto start_task = [&](int c, TaskId t, uint64_t now) {
     CoreState& core = cores[c];
     core.task = t;
-    const std::span<const RefBlock> blocks = dag.blocks(t);
+    const std::span<const PackedRef> blocks = dag.blocks(t);
     core.blocks = blocks.data();
     core.num_blocks = static_cast<uint32_t>(blocks.size());
     core.bi = 0;
@@ -137,26 +138,27 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
   // running ahead of the simulation is safe; per-block constants (stream
   // interleave error terms, the kRandom reciprocal) are set up once per
   // refill and amortized over the batch.
-  auto refill = [line_shift](CoreState& core) {
+  const InterleaveSide* const inter = dag.interleave_data();
+  auto refill = [line_shift, inter](CoreState& core) {
     BufOp* const buf = core.buf;
     int len = 0;
-    const RefBlock* const blocks = core.blocks;
+    const PackedRef* const blocks = core.blocks;
     const uint32_t nb = core.num_blocks;
     uint32_t bi = core.bi;
     uint32_t ri = core.ri;
     while (len < kBufOps && bi < nb) {
-      const RefBlock& b = blocks[bi];
-      switch (b.kind) {
+      const PackedRef& b = blocks[bi];
+      switch (b.kind()) {
         case RefKind::kCompute:
           ++bi;
           ri = 0;
-          if (b.instr != 0) buf[len++] = BufOp{b.instr, 0, false};
+          if (b.instr() != 0) buf[len++] = BufOp{b.instr(), 0, false};
           break;
         case RefKind::kStride: {
-          const uint64_t base = b.base;
-          const int64_t stride = b.stride;
-          const uint32_t ipr = b.instr_per_ref;
-          const bool wr = b.is_write;
+          const uint64_t base = b.base();
+          const int64_t stride = b.stride();
+          const uint32_t ipr = b.instr_per_ref();
+          const bool wr = b.is_write();
           uint32_t i = ri;
           const uint32_t end =
               std::min(b.count, i + static_cast<uint32_t>(kBufOps - len));
@@ -174,11 +176,11 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
           break;
         }
         case RefKind::kRandom: {
-          const uint64_t base = b.base;
-          const uint64_t seed = b.seed;
-          const uint64_t region = b.region_len;
-          const uint32_t ipr = b.instr_per_ref;
-          const bool wr = b.is_write;
+          const uint64_t base = b.base();
+          const uint64_t seed = b.seed();
+          const uint64_t region = b.region_len();
+          const uint32_t ipr = b.instr_per_ref();
+          const bool wr = b.is_write();
           // h % region with the division strength-reduced to a multiply:
           // with magic = floor(2^64/region), q = mulhi(h, magic) is either
           // floor(h/region) or one less (h*magic/2^64 > h/region - 1 since
@@ -220,19 +222,20 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
           // (em_s+1)*n; "behind target" is prog_s >= goal_s, prog gains
           // lines_s per step and goal gains n per emission. Both products
           // are < 2^64 (uint32 factors), so uint64 arithmetic is exact.
+          const InterleaveSide& sd = inter[b.side_index()];
           const uint32_t n = b.count;
-          const uint32_t ipr = b.instr_per_ref;
-          const int ns = b.num_streams;
-          const uint32_t lb = b.line_bytes;
+          const uint32_t ipr = b.instr_per_ref();
+          const int ns = static_cast<int>(sd.num_streams);
+          const uint32_t lb = sd.line_bytes;
           uint32_t i = ri;
           uint64_t prog[kMaxStreams];
           uint64_t goal[kMaxStreams];
           uint64_t addr_next[kMaxStreams];
           for (int s = 0; s < ns; ++s) {
-            prog[s] = (static_cast<uint64_t>(i) + 1) * b.streams[s].lines;
+            prog[s] = (static_cast<uint64_t>(i) + 1) * sd.streams[s].lines;
             goal[s] = (static_cast<uint64_t>(core.em[s]) + 1) * n;
             addr_next[s] =
-                b.streams[s].base + static_cast<uint64_t>(core.em[s]) * lb;
+                sd.streams[s].base + static_cast<uint64_t>(core.em[s]) * lb;
           }
           const uint32_t end =
               std::min(n, i + static_cast<uint32_t>(kBufOps - len));
@@ -246,18 +249,18 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
             }
             if (pick < 0) {  // floor rounding gap: emit any unfinished stream
               for (int s = 0; s < ns; ++s) {
-                if (core.em[s] < b.streams[s].lines) {
+                if (core.em[s] < sd.streams[s].lines) {
                   pick = s;
                   break;
                 }
               }
             }
             buf[len++] = BufOp{addr_next[pick] >> line_shift, ipr,
-                               b.streams[pick].is_write};
+                               sd.streams[pick].is_write};
             ++core.em[pick];
             goal[pick] += n;
             addr_next[pick] += lb;
-            for (int s = 0; s < ns; ++s) prog[s] += b.streams[s].lines;
+            for (int s = 0; s < ns; ++s) prog[s] += sd.streams[s].lines;
           }
           if (i == n) {
             ++bi;

@@ -170,6 +170,72 @@ TEST(SweepRun, GeneratedSpecsMixWithSeedApps) {
   EXPECT_GT(r->num_tasks, 0u);
 }
 
+// The workload cache must be invisible in the results: a sweep that
+// builds each unique workload once and shares it across jobs emits
+// byte-identical CSV/JSON to one that rebuilds per job, at any worker
+// count.
+TEST(SweepCache, SharedMatchesFreshBuildByteForByte) {
+  SweepSpec spec = small_spec();
+  spec.sequential_baseline = true;
+  SweepOptions fresh;
+  fresh.share_workloads = false;
+  fresh.workers = 1;
+  const SweepResults baseline = run_sweep(spec, fresh);
+  for (int workers : {1, 4}) {
+    for (bool share : {false, true}) {
+      SweepOptions opt;
+      opt.share_workloads = share;
+      opt.workers = workers;
+      const SweepResults res = run_sweep(spec, opt);
+      ASSERT_EQ(res.size(), baseline.size());
+      EXPECT_EQ(res.to_table().to_csv(), baseline.to_table().to_csv())
+          << "workers=" << workers << " share=" << share;
+      EXPECT_EQ(res.to_json(), baseline.to_json())
+          << "workers=" << workers << " share=" << share;
+    }
+  }
+}
+
+TEST(SweepCache, BuildsEachUniqueWorkloadOnce) {
+  // 2 apps x 2 configs with (seq + 3 scheds) jobs each: 16 jobs but only
+  // 4 distinct workloads; the cache must build exactly those 4, and with
+  // sharing off, one per job.
+  SweepSpec spec = small_spec();
+  spec.sequential_baseline = true;
+  for (bool share : {true, false}) {
+    std::atomic<int> builds{0};
+    SweepOptions opt;
+    opt.share_workloads = share;
+    opt.workers = 4;
+    opt.on_workload_built = [&](const std::string&) { ++builds; };
+    const SweepResults res = run_sweep(spec, opt);
+    ASSERT_EQ(res.size(), 16u);
+    EXPECT_EQ(builds.load(), share ? 4 : 16);
+  }
+}
+
+TEST(SweepCache, FactoryJobsAreNeverShared) {
+  const CmpConfig cfg = default_config(2).scaled(kScale);
+  AppOptions opt;
+  opt.scale = kScale;
+  std::atomic<int> factory_calls{0};
+  SweepJob job;
+  job.app = "custom";
+  job.sched = "pdf";
+  job.config = cfg;
+  job.opt = opt;
+  job.factory = [&factory_calls, &cfg](const CmpConfig&, const AppOptions& o) {
+    ++factory_calls;
+    return make_app("matmul", cfg, o);
+  };
+  // Two identical factory jobs: a std::function has no identity to key
+  // on, so each must get its own build.
+  const SweepResults res = run_sweep(std::vector<SweepJob>{job, job});
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(factory_calls.load(), 2);
+  EXPECT_EQ(res[0].result.cycles, res[1].result.cycles);
+}
+
 TEST(SweepRun, WorkerErrorsPropagate) {
   SweepSpec spec = small_spec();
   spec.apps = {"matmul", "no-such-app"};

@@ -10,7 +10,11 @@ namespace cachesched {
 namespace {
 
 std::vector<TraceOp> expand(std::vector<RefBlock> blocks) {
-  TraceCursor c(blocks.data(), static_cast<uint32_t>(blocks.size()));
+  std::vector<PackedRef> packed;
+  std::vector<InterleaveSide> side;
+  for (const RefBlock& b : blocks) packed.push_back(pack_ref(b, &side));
+  TraceCursor c(packed.data(), static_cast<uint32_t>(packed.size()),
+                side.data());
   std::vector<TraceOp> ops;
   for (TraceOp op = c.next(); op.kind != TraceOp::kDone; op = c.next()) {
     ops.push_back(op);
@@ -138,6 +142,53 @@ TEST(Trace, EmptyCursor) {
 TEST(Trace, InstrPerRefFloorOfOne) {
   const auto b = RefBlock::stride_ref(0, 1, 128, false, 0);
   EXPECT_EQ(b.instr_per_ref, 1u);
+}
+
+TEST(Trace, PackedRefIs32Bytes) {
+  static_assert(sizeof(PackedRef) == 32);
+  EXPECT_EQ(sizeof(PackedRef), 32u);
+}
+
+TEST(Trace, PackUnpackRoundTripsEveryKind) {
+  StreamRef s[3] = {{0x100, 3, false}, {0x2000, 5, true}, {0x30000, 2, false}};
+  const RefBlock originals[] = {
+      RefBlock::compute(4242),
+      RefBlock::stride_ref(0xABC000, 77, -256, true, 9),
+      RefBlock::random_ref(0x8000, 1 << 16, 1234, 0xDEADBEEF, false, 3),
+      RefBlock::interleave(s, 3, 64, 2),
+  };
+  std::vector<InterleaveSide> side;
+  for (const RefBlock& b : originals) {
+    const PackedRef p = pack_ref(b, &side);
+    EXPECT_EQ(p.total_instr(), b.total_instr());
+    EXPECT_EQ(p.total_refs(), b.total_refs());
+    const RefBlock u = unpack_ref(p, side.data());
+    // The unpacked descriptor must match what the factory produced field
+    // for field (the dag_io format round-trips through this).
+    EXPECT_EQ(u.kind, b.kind);
+    EXPECT_EQ(u.is_write, b.is_write);
+    EXPECT_EQ(u.num_streams, b.num_streams);
+    EXPECT_EQ(u.count, b.count);
+    EXPECT_EQ(u.instr_per_ref, b.instr_per_ref);
+    EXPECT_EQ(u.line_bytes, b.line_bytes);
+    EXPECT_EQ(u.base, b.base);
+    EXPECT_EQ(u.stride, b.stride);
+    EXPECT_EQ(u.region_len, b.region_len);
+    EXPECT_EQ(u.seed, b.seed);
+    EXPECT_EQ(u.instr, b.instr);
+    for (int k = 0; k < kMaxStreams; ++k) {
+      EXPECT_EQ(u.streams[k].base, b.streams[k].base);
+      EXPECT_EQ(u.streams[k].lines, b.streams[k].lines);
+      EXPECT_EQ(u.streams[k].is_write, b.streams[k].is_write);
+    }
+  }
+}
+
+TEST(Trace, PackRejectsOversizedInstrPerRef) {
+  RefBlock b = RefBlock::stride_ref(0, 1, 128, false, 1);
+  b.instr_per_ref = PackedRef::kIprMask + 1;
+  std::vector<InterleaveSide> side;
+  EXPECT_THROW(pack_ref(b, &side), std::invalid_argument);
 }
 
 }  // namespace

@@ -189,7 +189,7 @@ TEST(Matmul, EveryCBlockWrittenTwice) {
   uint64_t gemms = 0;
   for (TaskId t = 0; t < w.dag.num_tasks(); ++t) {
     if (w.dag.blocks(t).size() == 1 &&
-        w.dag.blocks(t)[0].kind == RefKind::kInterleave) {
+        w.dag.blocks(t)[0].kind() == RefKind::kInterleave) {
       ++gemms;
     }
   }

@@ -2,14 +2,23 @@
 // the schema) and flags throughput regressions.
 //
 //   perf_compare BASELINE.json CURRENT.json [--threshold=0.10]
-//                [--report-only]
+//                [--filter=prefix[,prefix...]] [--report-only]
 //
 // Benchmarks are matched by name; a benchmark whose value (always
 // higher-is-better) dropped by more than the threshold is a regression.
+// A baseline benchmark missing from the current report also fails (lost
+// coverage must not read as green) — rename/remove benchmarks by
+// refreshing the baseline in the same commit.
+// --filter restricts the comparison to benchmarks whose name starts with
+// one of the given prefixes (e.g. --filter=engine/ gates only simulator
+// throughput while sweep and profiler numbers stay report-only in a
+// separate invocation). A filter that matches nothing is an error, so a
+// renamed prefix cannot turn a CI gate vacuously green.
 // Exit codes: 0 = no regressions (or --report-only), 1 = regressions,
 // 2 = bad invocation or malformed input.
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -32,7 +41,7 @@ int main(int argc, char** argv) {
         continue;
       }
       if (arg.find('=') == std::string::npos && arg != "--report-only" &&
-          i + 1 < argc && argv[i + 1][0] != '-') {
+          i + 1 < argc && argv[i + 1][0] != '-' && argv[i + 1][0] != '\0') {
         arg += '=';
         arg += argv[++i];
       }
@@ -40,7 +49,8 @@ int main(int argc, char** argv) {
     }
     if (positional.size() != 2) {
       std::cerr << "usage: perf_compare BASELINE.json CURRENT.json "
-                   "[--threshold=0.10] [--report-only]\n";
+                   "[--threshold=0.10] [--filter=prefix[,prefix...]] "
+                   "[--report-only]\n";
       return 2;
     }
     std::vector<char*> flags = {argv[0]};
@@ -48,12 +58,35 @@ int main(int argc, char** argv) {
     CliArgs args(static_cast<int>(flags.size()), flags.data());
     const double threshold = args.get_double("threshold", 0.10);
     const bool report_only = args.get_bool("report-only", false);
+    const std::string filter = args.get("filter", "");
     if (const int rc = args.check_unused()) return rc;
+
+    std::vector<std::string> prefixes;
+    {
+      std::stringstream ss(filter);
+      std::string p;
+      while (std::getline(ss, p, ',')) {
+        if (!p.empty()) prefixes.push_back(p);
+      }
+    }
 
     const perf::Report base = perf::load_report(positional[0]);
     const perf::Report cur = perf::load_report(positional[1]);
-    const std::vector<perf::Delta> deltas =
+    std::vector<perf::Delta> deltas =
         perf::compare_reports(base, cur, threshold);
+    if (!prefixes.empty()) {
+      std::erase_if(deltas, [&](const perf::Delta& d) {
+        for (const std::string& p : prefixes) {
+          if (d.name.compare(0, p.size(), p) == 0) return false;
+        }
+        return true;
+      });
+      if (deltas.empty()) {
+        std::cerr << "perf_compare: --filter=" << filter
+                  << " matches no benchmark in either report\n";
+        return 2;
+      }
+    }
 
     std::printf("%-26s %12s %12s %8s  %s\n", "benchmark", "baseline",
                 "current", "ratio", "status");
@@ -62,6 +95,7 @@ int main(int argc, char** argv) {
       const char* status = "ok";
       if (d.missing_in_current) {
         status = "MISSING in current";
+        ++regressions;
       } else if (d.missing_in_baseline) {
         status = "new (no baseline)";
       } else if (d.regression) {
