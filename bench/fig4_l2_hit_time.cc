@@ -6,11 +6,18 @@
 // beats WS on the *fast* 7-cycle L2, because for Hash Join and Mergesort
 // L2 misses dominate so hit time barely matters.
 //
+// The hit-time axis is timing-only, so the sweep engine's shared-workload
+// cache builds each app once and reuses it across every (hit time,
+// scheduler) point (the WorkloadBuilder contract: builders never read
+// timing fields).
+//
 // Usage: fig4_l2_hit_time [--apps=hashjoin,mergesort] [--scale=0.125]
 //                         [--hits=7,19] [--cores=16] [--csv=prefix]
+//                         [--jobs=N]
 #include <iostream>
 #include <sstream>
 
+#include "exp/sweep.h"
 #include "harness/apps.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -23,26 +30,44 @@ int main(int argc, char** argv) {
   const int cores = static_cast<int>(args.get_int("cores", 16));
   const auto hits = args.get_int_list("hits", {7, 19});
   const std::string csv = args.get("csv", "");
+  SweepOptions swopt;
+  swopt.workers = static_cast<int>(args.get_int("jobs", 0));
   std::stringstream apps_ss(args.get("apps", "hashjoin,mergesort"));
 
   std::string app;
   while (std::getline(apps_ss, app, ',')) {
-    Table t({"l2_hit_cycles", "pdf_cycles", "ws_cycles", "pdf_vs_ws"});
-    uint64_t pdf_slowest = 0, ws_fastest = UINT64_MAX;
+    AppOptions opt;
+    opt.scale = scale;
+    // One job per (hit time, scheduler); all share a single workload
+    // build because only a timing field varies.
+    std::vector<SweepJob> jobs;
     for (int64_t h : hits) {
       CmpConfig cfg = default_config(cores).scaled(scale);
       cfg.l2_hit_cycles = static_cast<int>(h);
       cfg.name += "-hit" + std::to_string(h);
-      AppOptions opt;
-      opt.scale = scale;
-      const Workload w = make_app(app, cfg, opt);
-      const SimResult pdf = simulate_app(w, cfg, "pdf");
-      const SimResult ws = simulate_app(w, cfg, "ws");
-      pdf_slowest = std::max(pdf_slowest, pdf.cycles);
-      ws_fastest = std::min(ws_fastest, ws.cycles);
-      t.add_row({Table::num(h), Table::num(pdf.cycles), Table::num(ws.cycles),
-                 Table::num(static_cast<double>(ws.cycles) /
-                                static_cast<double>(pdf.cycles), 3)});
+      for (const char* sched : {"pdf", "ws"}) {
+        SweepJob job;
+        job.app = app;
+        job.sched = sched;
+        job.tag = "hit" + std::to_string(h);
+        job.config = cfg;
+        job.opt = opt;
+        jobs.push_back(std::move(job));
+      }
+    }
+    const SweepResults res = run_sweep(jobs, swopt);
+
+    Table t({"l2_hit_cycles", "pdf_cycles", "ws_cycles", "pdf_vs_ws"});
+    uint64_t pdf_slowest = 0, ws_fastest = UINT64_MAX;
+    for (size_t i = 0; i < hits.size(); ++i) {
+      const uint64_t pdf_cycles = res[2 * i].result.cycles;
+      const uint64_t ws_cycles = res[2 * i + 1].result.cycles;
+      pdf_slowest = std::max(pdf_slowest, pdf_cycles);
+      ws_fastest = std::min(ws_fastest, ws_cycles);
+      t.add_row({Table::num(hits[i]), Table::num(pdf_cycles),
+                 Table::num(ws_cycles),
+                 Table::num(static_cast<double>(ws_cycles) /
+                                static_cast<double>(pdf_cycles), 3)});
     }
     std::cout << "\n=== Figure 4: " << app << ", " << cores
               << "-core default, varying L2 hit time ===\n";
@@ -63,8 +88,6 @@ int main(int argc, char** argv) {
       banked.name += "-banked";
       CmpConfig mono = default_config(cores).scaled(scale);
       mono.l2_hit_cycles = 19;
-      AppOptions opt;
-      opt.scale = scale;
       const Workload w = make_app(app, banked, opt);
       const uint64_t ws_banked = simulate_app(w, banked, "ws").cycles;
       const uint64_t pdf_mono = simulate_app(w, mono, "pdf").cycles;

@@ -3,12 +3,18 @@
 // Mergesort. PDF's advantage persists across the whole range (paper:
 // 1.21-1.62x for Hash Join, 1.03-1.29x for Mergesort).
 //
+// The latency axis is timing-only, so the sweep engine's shared-workload
+// cache builds each app once and reuses it across every (latency,
+// scheduler) point (the WorkloadBuilder contract: builders never read
+// timing fields).
+//
 // Usage: fig5_mem_latency [--apps=hashjoin,mergesort] [--scale=0.125]
 //                         [--latencies=100,300,500,700,900,1100]
-//                         [--cores=16] [--csv=prefix]
+//                         [--cores=16] [--csv=prefix] [--jobs=N]
 #include <iostream>
 #include <sstream>
 
+#include "exp/sweep.h"
 #include "harness/apps.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -22,22 +28,39 @@ int main(int argc, char** argv) {
   const auto lats =
       args.get_int_list("latencies", {100, 300, 500, 700, 900, 1100});
   const std::string csv = args.get("csv", "");
+  SweepOptions swopt;
+  swopt.workers = static_cast<int>(args.get_int("jobs", 0));
   std::stringstream apps_ss(args.get("apps", "hashjoin,mergesort"));
 
   std::string app;
   while (std::getline(apps_ss, app, ',')) {
-    Table t({"mem_latency", "pdf_cycles", "ws_cycles", "pdf_vs_ws",
-             "pdf_bw%", "ws_bw%"});
+    AppOptions opt;
+    opt.scale = scale;
+    // One job per (latency, scheduler); one shared workload build.
+    std::vector<SweepJob> jobs;
     for (int64_t lat : lats) {
       CmpConfig cfg = default_config(cores).scaled(scale);
       cfg.mem_latency_cycles = static_cast<int>(lat);
       cfg.name += "-lat" + std::to_string(lat);
-      AppOptions opt;
-      opt.scale = scale;
-      const Workload w = make_app(app, cfg, opt);
-      const SimResult pdf = simulate_app(w, cfg, "pdf");
-      const SimResult ws = simulate_app(w, cfg, "ws");
-      t.add_row({Table::num(lat), Table::num(pdf.cycles), Table::num(ws.cycles),
+      for (const char* sched : {"pdf", "ws"}) {
+        SweepJob job;
+        job.app = app;
+        job.sched = sched;
+        job.tag = "lat" + std::to_string(lat);
+        job.config = cfg;
+        job.opt = opt;
+        jobs.push_back(std::move(job));
+      }
+    }
+    const SweepResults res = run_sweep(jobs, swopt);
+
+    Table t({"mem_latency", "pdf_cycles", "ws_cycles", "pdf_vs_ws",
+             "pdf_bw%", "ws_bw%"});
+    for (size_t i = 0; i < lats.size(); ++i) {
+      const SimResult& pdf = res[2 * i].result;
+      const SimResult& ws = res[2 * i + 1].result;
+      t.add_row({Table::num(lats[i]), Table::num(pdf.cycles),
+                 Table::num(ws.cycles),
                  Table::num(static_cast<double>(ws.cycles) /
                                 static_cast<double>(pdf.cycles), 3),
                  Table::num(100.0 * pdf.mem_bandwidth_utilization(), 1),

@@ -2,56 +2,98 @@
 
 #include <algorithm>
 
+#include "util/rng.h"
+
 namespace cachesched {
 
 LruStackModel::LruStackModel(size_t initial_capacity) {
-  live_.reset(std::max<size_t>(initial_capacity, 1024));
+  capacity_ = std::max<uint64_t>(initial_capacity, 1024);
+  live_.reset(capacity_);
+  pages_.assign(256, PageRef{});
+  page_mask_ = pages_.size() - 1;
+}
+
+/// The page's entry block, created on first touch. Doubles the page
+/// table when it passes half load (the block pool is untouched by the
+/// rehash, so returned pointers stay valid until the next block append).
+LruStackModel::Entry* LruStackModel::page_block(uint64_t page) {
+  uint64_t i = mix64(page) & page_mask_;
+  for (;;) {
+    PageRef& p = pages_[i];
+    if (p.block == kNoBlock) break;
+    if (p.page == page) return blocks_[p.block].data();
+    i = (i + 1) & page_mask_;
+  }
+  if ((num_pages_ + 1) * 2 > pages_.size()) {
+    std::vector<PageRef> old = std::move(pages_);
+    pages_.assign(old.size() * 2, PageRef{});
+    page_mask_ = pages_.size() - 1;
+    for (const PageRef& p : old) {
+      if (p.block == kNoBlock) continue;
+      uint64_t j = mix64(p.page) & page_mask_;
+      while (pages_[j].block != kNoBlock) j = (j + 1) & page_mask_;
+      pages_[j] = p;
+    }
+    i = mix64(page) & page_mask_;
+    while (pages_[i].block != kNoBlock) i = (i + 1) & page_mask_;
+  }
+  pages_[i].page = page;
+  pages_[i].block = static_cast<uint32_t>(blocks_.size());
+  ++num_pages_;
+  blocks_.emplace_back(kPageLines, Entry{kFreeSlot, kNoTask});
+  return blocks_.back().data();
 }
 
 StackRef LruStackModel::access(uint64_t line, TaskId task) {
-  if (time_ == live_.size()) compact();
+  if (time_ == capacity_) compact();
   ++accesses_;
+  const uint64_t page = line >> kPageBits;
+  if (page != last_page_) {
+    last_block_ = page_block(page);
+    last_page_ = page;
+  }
+  Entry& e = last_block_[line & (kPageLines - 1)];
   StackRef out;
-  auto [it, inserted] = map_.try_emplace(line, Info{time_, task});
-  if (inserted) {
+  if (e.slot == kFreeSlot) {
     out.distance = StackRef::kColdDistance;
     out.prev_task = kNoTask;
-    live_.add(time_, 1);
-    ++time_;
-    return out;
+    ++lines_;
+  } else {
+    // Lines accessed after our last access each contribute one live slot
+    // in (e.slot, time_).
+    out.distance = live_.count_range(e.slot + 1, time_);
+    out.prev_task = e.last_task;
+    live_.clear(e.slot);
   }
-  Info& info = it->second;
-  // Lines accessed after our last access each contribute one live slot in
-  // (info.slot, time_).
-  out.distance =
-      static_cast<uint64_t>(live_.range_sum(info.slot + 1, time_));
-  out.prev_task = info.last_task;
-  live_.add(info.slot, -1);
-  live_.add(time_, 1);
-  info.slot = time_;
-  info.last_task = task;
+  live_.set(time_);
+  e.slot = time_;
+  e.last_task = task;
   ++time_;
   return out;
 }
 
 void LruStackModel::compact() {
-  // Re-number live slots 0..n-1 in stack order; grow if more than half the
-  // capacity is live so compactions stay amortized O(1) per access.
-  std::vector<std::pair<uint64_t, uint64_t>> order;  // (slot, line)
-  order.reserve(map_.size());
-  for (const auto& [line, info] : map_) order.emplace_back(info.slot, line);
-  std::sort(order.begin(), order.end());
-  size_t capacity = live_.size();
-  while (order.size() * 2 > capacity) capacity *= 2;
-  live_.reset(capacity);
-  uint64_t slot = 0;
-  for (const auto& [old_slot, line] : order) {
-    (void)old_slot;
-    map_[line].slot = slot;
-    live_.add(slot, 1);
-    ++slot;
+  // Re-number live slots 0..m-1 in stack order — a line's new slot is the
+  // rank of its old slot among the live bits — then rebuild the bit
+  // structure as a solid prefix of m set bits. Rank queries use a
+  // per-block prefix table so each one costs a short in-block count; the
+  // whole pass is O(lines + capacity / kBlockSlots) and independent of
+  // block order. Grow when more than half the capacity is live so
+  // compactions stay amortized O(1) per access.
+  std::vector<uint64_t> prefix;
+  live_.block_prefix(&prefix);
+  for (std::vector<Entry>& block : blocks_) {
+    for (Entry& e : block) {
+      if (e.slot == kFreeSlot) continue;
+      const uint64_t b = e.slot / BitRank::kBlockSlots;
+      e.slot =
+          prefix[b] + live_.count_range(b * BitRank::kBlockSlots, e.slot);
+    }
   }
-  time_ = slot;
+  while (lines_ * 2 > capacity_) capacity_ *= 2;
+  live_.reset(capacity_);
+  for (uint64_t i = 0; i < lines_; ++i) live_.set(i);
+  time_ = lines_;
 }
 
 }  // namespace cachesched

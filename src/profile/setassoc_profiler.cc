@@ -4,83 +4,12 @@
 #include <bit>
 #include <cstdint>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
+#include "profile/lru_stack.h"
 #include "simarch/cache.h"
 
 namespace cachesched {
-
-namespace {
-
-/// Exact fully-associative true-LRU cache of `capacity` lines, O(1) per
-/// access (hash map + intrusive doubly-linked recency list). Used for the
-/// profiler's ways==0 mode, where the "set" is the whole cache and
-/// SetAssocCache's per-set layout (<= 255 ways) does not apply. Hit/miss
-/// counts are identical to any correct LRU implementation's.
-class FullyAssocLru {
- public:
-  explicit FullyAssocLru(uint64_t capacity) : cap_(capacity) {
-    nodes_.reserve(capacity);
-    map_.reserve(capacity);
-  }
-
-  /// True if `line` was resident (touches it); installs it otherwise,
-  /// evicting the LRU line when full.
-  bool access(uint64_t line) {
-    const auto it = map_.find(line);
-    if (it != map_.end()) {
-      unlink(it->second);
-      push_front(it->second);
-      return true;
-    }
-    uint32_t n;
-    if (nodes_.size() < cap_) {
-      n = static_cast<uint32_t>(nodes_.size());
-      nodes_.push_back(Node{line, kNone, kNone});
-    } else {
-      n = tail_;  // evict LRU
-      unlink(n);
-      map_.erase(nodes_[n].line);
-      nodes_[n].line = line;
-    }
-    map_.emplace(line, n);
-    push_front(n);
-    return false;
-  }
-
- private:
-  static constexpr uint32_t kNone = UINT32_MAX;
-  struct Node {
-    uint64_t line;
-    uint32_t prev, next;
-  };
-
-  void unlink(uint32_t n) {
-    Node& nd = nodes_[n];
-    if (nd.prev != kNone) nodes_[nd.prev].next = nd.next;
-    else head_ = nd.next;
-    if (nd.next != kNone) nodes_[nd.next].prev = nd.prev;
-    else tail_ = nd.prev;
-  }
-
-  void push_front(uint32_t n) {
-    Node& nd = nodes_[n];
-    nd.prev = kNone;
-    nd.next = head_;
-    if (head_ != kNone) nodes_[head_].prev = n;
-    head_ = n;
-    if (tail_ == kNone) tail_ = n;
-  }
-
-  uint64_t cap_;
-  uint32_t head_ = kNone;
-  uint32_t tail_ = kNone;
-  std::vector<Node> nodes_;
-  std::unordered_map<uint64_t, uint32_t> map_;
-};
-
-}  // namespace
 
 SetAssocProfiler::GroupStats SetAssocProfiler::profile_group(
     const TaskDag& dag, TaskId b, TaskId e, uint64_t cache_bytes) const {
@@ -88,14 +17,20 @@ SetAssocProfiler::GroupStats SetAssocProfiler::profile_group(
   const uint64_t lines = std::max<uint64_t>(cache_bytes / line_bytes_, 1);
   GroupStats s;
   if (ways_ == 0) {  // fully associative
-    FullyAssocLru cache(lines);
+    // A fully-associative true-LRU cache of C lines hits exactly the
+    // references with reuse distance < C (Mattson), so the replay rides
+    // the fast LRU-stack primitive instead of a hash + list cache. The
+    // multi-pass structure — one cold replay per (group, size), the §6.1
+    // baseline this profiler exists to represent — is unchanged.
+    LruStackModel stack;
     for (TaskId t = b; t <= e; ++t) {
       TraceCursor cur = dag.cursor(t);
       for (TraceOp op = cur.next(); op.kind != TraceOp::kDone;
            op = cur.next()) {
         if (op.kind != TraceOp::kMem) continue;
         ++s.refs;
-        s.hits += cache.access(op.addr >> line_shift);
+        const StackRef r = stack.access(op.addr >> line_shift, t);
+        s.hits += !r.cold() && r.distance < lines;
       }
     }
     return s;

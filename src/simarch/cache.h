@@ -8,30 +8,37 @@
 //
 // This is the simulator's hottest data structure (see src/perf/). Flat
 // contiguous arrays, entries that never move, and the LRU order held
-// intrusively as a per-set byte permutation:
+// intrusively as a per-set byte permutation packed into words:
 //
-//  * fp_    — one fingerprint byte per way (the line-number bits just
-//             above the set index). A lookup matches the probed line's
-//             byte against the set's fingerprint row eight ways at a time
-//             (portable SWAR), then verifies the 1-2 candidate tags — a
-//             fixed handful of ops regardless of associativity or LRU
-//             depth, where an ordered scan walks half the set on average
-//             (measured depth ~8 of 16 ways on the paper's workloads).
-//  * tags_  — full line numbers, position-stable; invalid ways hold
-//             kInvalidTag, which matches no real line. A fingerprint
-//             match at another set's way (rows are scanned in 8-byte
-//             chunks) can never verify: a tag equal to the probed line
-//             could only live in the probed line's own set.
 //  * meta_  — tag + presence mask + dirty bit per way, position-stable:
 //             pointers returned by probe/access/install stay valid for
 //             the cache's lifetime, and slot_of/entry_at let the engine
 //             memoize an entry and revalidate it later with one tag
-//             compare instead of a re-probe.
-//  * order_ — per-set permutation of [0, ways), MRU-first with the
-//             invalid ways on the tail: a touch rotates at most `ways`
-//             bytes, and the LRU victim (or the free way) for an install
-//             is read off the tail, so installs write in place and move
-//             no tags.
+//             compare instead of a re-probe. Fingerprint candidates are
+//             verified against meta_'s tag — the entry a hit touches
+//             anyway. Invalid ways hold kInvalidTag, which matches no
+//             real line; a spurious fingerprint match at another set's
+//             way can never verify, because a tag equal to the probed
+//             line could only live in the probed line's own set.
+//  * rows_  — per set, adjacent in one array (so a probe + LRU update
+//             touch one host cache line): the *fingerprint row* (one
+//             byte per way — the line-number bits just above the set
+//             index) and the *order row* (a permutation of [0, ways),
+//             MRU-first with the invalid ways on the tail). A lookup
+//             matches the probed line's fingerprint against the row
+//             eight ways at a time (portable SWAR) and verifies the rare
+//             candidates — a fixed handful of ops regardless of
+//             associativity or LRU depth, where an ordered scan walks
+//             half the set on average. A touch is a masked word
+//             rotation, and the LRU victim (or the free way) for an
+//             install is read off the order tail, so installs write in
+//             place and move no tags.
+//
+// rows_ is a uint64_t array on purpose: byte-typed rows would make
+// every row update a char store, which the compiler must treat as
+// aliasing every other array — after each simulated access it would
+// reload the member pointers and spill the engine's accumulator
+// registers. Word-typed stores keep the hot loop's state in registers.
 //
 // The byte permutation caps the fast layout at 255 ways; wider caches
 // (the fully-associative configurations of tests and profilers) fall back
@@ -55,7 +62,9 @@ namespace cachesched {
 class SetAssocCache {
  public:
   struct Line {
-    uint64_t tag = 0;       // line number currently held by this slot
+    // Line number currently held by this slot; kInvalidTag (no real
+    // line) when the slot is empty.
+    uint64_t tag = ~uint64_t{0};
     uint32_t presence = 0;  // L2 only: bit per core with an L1 copy
     bool dirty = false;
   };
@@ -74,13 +83,11 @@ class SetAssocCache {
   SetAssocCache(uint64_t num_sets, int ways)
       : sets_(num_sets),
         ways_(ways),
-        // fp_/order_ rows are read and tags_ verified in 8-byte chunks;
-        // pad each array so the last set's chunk can over-read safely
-        // (padding tags hold kInvalidTag and so never verify).
-        tags_(num_sets * ways + 8, kInvalidTag),
-        meta_(num_sets * ways),
-        fp_(num_sets * ways + 8, 0),
-        order_(num_sets * ways + 8, 0),
+        sw_(static_cast<uint32_t>((ways + 7) / 8)),
+        // meta_ carries 8 padding entries: a spurious fingerprint match
+        // in a row's unused tail bytes indexes past the last set, where
+        // the padding entries' kInvalidTag never verifies.
+        meta_(num_sets * ways + 8),
         valid_cnt_(num_sets, 0) {
     if (num_sets == 0 || (num_sets & (num_sets - 1)) != 0) {
       throw std::invalid_argument("set count must be a power of two");
@@ -89,6 +96,7 @@ class SetAssocCache {
     mask_ = num_sets - 1;
     set_shift_ = std::countr_zero(num_sets);
     wide_ = ways > 255;
+    rows_.assign(num_sets * 2 * sw_, 0);
     if (wide_) {
       stamps_.assign(num_sets * ways, 0);
     } else {
@@ -104,9 +112,9 @@ class SetAssocCache {
   /// The pointer stays valid for the cache's lifetime; the entry holds
   /// `line` until it is evicted or invalidated (check `tag`).
   Line* probe(uint64_t line) {
-    const size_t s = (line & mask_) * ways_;
-    const int w = find_way(s, line);
-    return w >= 0 ? &meta_[s + w] : nullptr;
+    const uint64_t set = line & mask_;
+    const int w = find_way(set, line);
+    return w >= 0 ? &meta_[set * ways_ + w] : nullptr;
   }
   const Line* probe(uint64_t line) const {
     return const_cast<SetAssocCache*>(this)->probe(line);
@@ -115,11 +123,11 @@ class SetAssocCache {
   /// Probes for `line` and, on a hit, marks it most-recently-used; returns
   /// the stable entry pointer or nullptr.
   Line* access(uint64_t line) {
-    const size_t s = (line & mask_) * ways_;
-    const int w = find_way(s, line);
+    const uint64_t set = line & mask_;
+    const int w = find_way(set, line);
     if (w < 0) return nullptr;
-    make_mru(s, w);
-    return &meta_[s + w];
+    make_mru(set, w);
+    return &meta_[set * ways_ + w];
   }
 
   /// Probes for `line` and marks it most-recently-used on a hit, or
@@ -129,21 +137,21 @@ class SetAssocCache {
   /// eviction to handle when the install had to victimize the LRU way.
   bool access_or_install(uint64_t line, bool dirty_on_install, Line** out,
                          Evicted* ev) {
-    const size_t s = (line & mask_) * ways_;
-    const int w = find_way(s, line);
+    const uint64_t set = line & mask_;
+    const int w = find_way(set, line);
     if (w >= 0) {
-      make_mru(s, w);
-      *out = &meta_[s + w];
+      make_mru(set, w);
+      *out = &meta_[set * ways_ + w];
       return true;
     }
-    *ev = install_impl(s, line, dirty_on_install, out);
+    *ev = install_impl(set, line, dirty_on_install, out);
     return false;
   }
 
   /// Marks `entry` most-recently-used; returns `entry` (stable).
   Line* touch(Line* entry) {
     const size_t idx = static_cast<size_t>(entry - meta_.data());
-    make_mru(idx - idx % ways_, static_cast<int>(idx % ways_));
+    make_mru(idx / ways_, static_cast<int>(idx % ways_));
     return entry;
   }
 
@@ -153,8 +161,7 @@ class SetAssocCache {
   /// via `out`.
   Evicted install(uint64_t line, bool dirty, Line** out) {
     Line* entry;
-    const Evicted ev = install_impl((line & mask_) * ways_, line, dirty,
-                                    &entry);
+    const Evicted ev = install_impl(line & mask_, line, dirty, &entry);
     if (out) *out = entry;
     return ev;
   }
@@ -163,18 +170,20 @@ class SetAssocCache {
   bool invalidate(uint64_t line) {
     const uint64_t set = line & mask_;
     const size_t s = set * ways_;
-    const int w = find_way(s, line);
+    const int w = find_way(set, line);
     if (w < 0) return false;
     const bool dirty = meta_[s + w].dirty;
-    tags_[s + w] = kInvalidTag;
     meta_[s + w] = Line{};
     const uint32_t n = valid_cnt_[set];
     if (!wide_) {
-      // Pull the way out of the valid prefix onto the free tail.
-      uint8_t* order = &order_[s];
-      const int p = find_order_pos(s, static_cast<uint8_t>(w));
-      std::memmove(order + p, order + p + 1, static_cast<size_t>(n - 1 - p));
-      order[n - 1] = static_cast<uint8_t>(w);
+      // Pull the way out of the valid prefix onto the free tail:
+      // bytes (p..n-2] shift down one, byte n-1 becomes w.
+      uint64_t* row = ord_row(set);
+      const int p = find_order_pos(row, static_cast<uint8_t>(w));
+      for (int i = p; i < static_cast<int>(n) - 1; ++i) {
+        ord_set_byte(row, i, ord_byte(row, i + 1));
+      }
+      ord_set_byte(row, static_cast<int>(n) - 1, static_cast<uint8_t>(w));
     }
     valid_cnt_[set] = n - 1;
     return dirty;
@@ -199,10 +208,9 @@ class SetAssocCache {
   }
 
   void clear() {
-    for (uint64_t& t : tags_) t = kInvalidTag;
     for (Line& l : meta_) l = Line{};
-    std::memset(fp_.data(), 0, fp_.size());
     for (uint32_t& c : valid_cnt_) c = 0;
+    std::fill(rows_.begin(), rows_.end(), 0);
     if (wide_) {
       stamps_.assign(stamps_.size(), 0);
       stamp_ = 0;
@@ -219,10 +227,26 @@ class SetAssocCache {
     return (x - kOnes) & ~x & 0x8080808080808080ULL;
   }
 
-  static uint64_t load8(const uint8_t* p) {
-    uint64_t v;
-    std::memcpy(&v, p, 8);
-    return v;
+  /// Low (k+1) bytes set; k in [0, 7].
+  static uint64_t byte_mask(int k) {
+    return k == 7 ? ~uint64_t{0} : (uint64_t{1} << ((k + 1) * 8)) - 1;
+  }
+
+  static uint8_t ord_byte(const uint64_t* row, int j) {
+    return static_cast<uint8_t>(row[j >> 3] >> ((j & 7) * 8));
+  }
+
+  static void ord_set_byte(uint64_t* row, int j, uint8_t b) {
+    const int sh = (j & 7) * 8;
+    row[j >> 3] =
+        (row[j >> 3] & ~(uint64_t{0xff} << sh)) | (uint64_t{b} << sh);
+  }
+
+  /// Rotation within one order word: bytes [0..p] become
+  /// [w, byte0..byte(p-1)]; bytes past p unchanged. p in [0, 7].
+  static uint64_t rot_word(uint64_t v, int p, uint8_t w) {
+    const uint64_t mask = byte_mask(p);
+    return (((v << 8) | w) & mask) | (v & ~mask);
   }
 
   /// Byte of the line number just above the set index, so lines that are
@@ -232,67 +256,118 @@ class SetAssocCache {
     return static_cast<uint8_t>(line >> set_shift_);
   }
 
-  /// Way holding `line` in the set at base index `s`, or -1. Matches the
-  /// fingerprint row in 8-byte chunks and verifies candidates against the
-  /// full tags; chunk over-reads are harmless (see file comment).
-  int find_way(size_t s, uint64_t line) const {
+  /// Way holding `line` in `set`, or -1. Matches the fingerprint row one
+  /// word (eight ways) at a time and verifies the rare candidates against
+  /// the full tags. A row's unused tail bytes stay 0 and can only produce
+  /// candidates past the valid ways, where the tag check rejects them
+  /// (meta_ is padded past the last set).
+  int find_way(uint64_t set, uint64_t line) const {
     const uint64_t probe_row = kOnes * fingerprint(line);
-    if (ways_ <= 8) {  // one chunk covers the set (every L1 configuration)
-      uint64_t m = zero_byte_mask(load8(&fp_[s]) ^ probe_row);
+    const uint64_t* fp = &rows_[set * 2 * sw_];
+    const size_t s = set * ways_;
+    if (ways_ <= 8) {  // one word covers the set (every L1 configuration)
+      uint64_t m = zero_byte_mask(fp[0] ^ probe_row);
       while (m != 0) {
         const int w = std::countr_zero(m) / 8;
-        if (tags_[s + w] == line) return w;
+        if (meta_[s + w].tag == line) return w;
         m &= m - 1;
       }
       return -1;
     }
-    for (int w0 = 0; w0 < ways_; w0 += 8) {
-      uint64_t m = zero_byte_mask(load8(&fp_[s + w0]) ^ probe_row);
+    if (ways_ <= 16) {  // two words, no loop (every paper L2 is <= 16)
+      uint64_t m = zero_byte_mask(fp[0] ^ probe_row);
+      uint64_t m1 = zero_byte_mask(fp[1] ^ probe_row);
+      if ((m | m1) == 0) return -1;  // the one branch of a clean miss
       while (m != 0) {
-        const int w = w0 + std::countr_zero(m) / 8;
-        if (tags_[s + w] == line) return w;
+        const int w = std::countr_zero(m) / 8;
+        if (meta_[s + w].tag == line) return w;
+        m &= m - 1;
+      }
+      while (m1 != 0) {
+        const int w = 8 + std::countr_zero(m1) / 8;
+        if (meta_[s + w].tag == line) return w;
+        m1 &= m1 - 1;
+      }
+      return -1;
+    }
+    for (uint32_t j = 0; j < sw_; ++j) {
+      uint64_t m = zero_byte_mask(fp[j] ^ probe_row);
+      while (m != 0) {
+        const int w = static_cast<int>(j * 8) + std::countr_zero(m) / 8;
+        if (meta_[s + w].tag == line) return w;
         m &= m - 1;
       }
     }
     return -1;
   }
 
-  /// Position of way `w` in the order row at base `s`; the way must be in
-  /// the set (spurious matches from chunk over-read lie past it).
-  int find_order_pos(size_t s, uint8_t w) const {
+  /// Position of way `w` in the order row; the way must be in the set
+  /// (spurious matches in unused tail bytes lie past it and the zero-byte
+  /// scan takes the lowest).
+  static int find_order_pos(const uint64_t* row, uint8_t w) {
     const uint64_t probe_row = kOnes * w;
-    if (ways_ <= 8) {
-      return std::countr_zero(zero_byte_mask(load8(&order_[s]) ^ probe_row)) /
-             8;
-    }
-    for (int p0 = 0;; p0 += 8) {
-      const uint64_t m = zero_byte_mask(load8(&order_[s + p0]) ^ probe_row);
-      if (m != 0) return p0 + std::countr_zero(m) / 8;
+    for (int j = 0;; ++j) {
+      const uint64_t m = zero_byte_mask(row[j] ^ probe_row);
+      if (m != 0) return j * 8 + std::countr_zero(m) / 8;
     }
   }
 
-  /// Marks way `w` of the set at base `s` most-recently-used.
-  void make_mru(size_t s, int w) {
+  /// Marks way `w` of `set` most-recently-used. The word paths (<= 16
+  /// ways: every paper configuration) load each order word once and do
+  /// the position search and the rotation on the loaded values.
+  void make_mru(uint64_t set, int w) {
     if (wide_) {
-      stamps_[s + w] = ++stamp_;
+      stamps_[set * ways_ + w] = ++stamp_;
       return;
     }
-    uint8_t* order = &order_[s];
-    if (order[0] == w) return;  // already MRU (the common repeat-hit case)
-    const int p = find_order_pos(s, static_cast<uint8_t>(w));
-    std::memmove(order + 1, order, static_cast<size_t>(p));
-    order[0] = static_cast<uint8_t>(w);
+    uint64_t* row = ord_row(set);
+    const uint8_t wb = static_cast<uint8_t>(w);
+    const uint64_t v0 = row[0];
+    if (static_cast<uint8_t>(v0) == wb) return;  // already MRU
+    const uint64_t m0 = zero_byte_mask(v0 ^ kOnes * wb);
+    if (ways_ <= 8 || m0 != 0) {  // position within the first word
+      row[0] = rot_word(v0, std::countr_zero(m0) / 8, wb);
+      return;
+    }
+    if (ways_ <= 16) {
+      const uint64_t v1 = row[1];
+      const uint64_t m1 = zero_byte_mask(v1 ^ kOnes * wb);
+      row[0] = (v0 << 8) | wb;
+      row[1] = rot_word(v1, std::countr_zero(m1) / 8,
+                        static_cast<uint8_t>(v0 >> 56));
+      return;
+    }
+    rotate_generic(row, find_order_pos(row, wb), wb);
   }
 
-  Evicted install_impl(size_t s, uint64_t line, bool dirty, Line** out) {
-    const uint64_t set = s / ways_;
+  /// Generic multi-word MRU rotation for > 16 ways: bytes [0..p] become
+  /// [w, byte0..byte(p-1)].
+  static void rotate_generic(uint64_t* row, int p, uint8_t w) {
+    uint8_t carry = w;
+    int j = 0;
+    for (; p >= 8; p -= 8, ++j) {
+      const uint64_t v = row[j];
+      row[j] = (v << 8) | carry;
+      carry = static_cast<uint8_t>(v >> 56);
+    }
+    row[j] = rot_word(row[j], p, carry);
+  }
+
+  /// `set` is the set index; the caller has it from the probe. Forced
+  /// inline: the L2 fill + L1 fill pair runs once per simulated reference
+  /// on the miss-dominated scaled configurations, and the out-of-line
+  /// call was measurable there.
+  [[gnu::always_inline]] inline Evicted install_impl(uint64_t set,
+                                                     uint64_t line, bool dirty,
+                                                     Line** out) {
+    const size_t s = set * ways_;
     Evicted ev;
     int w;
     if (wide_) {
       w = -1;
       if (valid_cnt_[set] < static_cast<uint32_t>(ways_)) {
         for (int i = 0; i < ways_; ++i) {
-          if (tags_[s + i] == kInvalidTag) {
+          if (meta_[s + i].tag == kInvalidTag) {
             w = i;
             break;
           }
@@ -307,55 +382,84 @@ class SetAssocCache {
           }
         }
         ev.valid = true;
-        ev.line = tags_[s + w];
+        ev.line = meta_[s + w].tag;
         ev.dirty = meta_[s + w].dirty;
         ev.presence = meta_[s + w].presence;
       }
       stamps_[s + w] = ++stamp_;
     } else {
-      uint8_t* order = &order_[s];
+      uint64_t* row = ord_row(set);
       int n = static_cast<int>(valid_cnt_[set]);
-      if (n == ways_) {
-        w = order[ways_ - 1];  // LRU victim
-        ev.valid = true;
-        ev.line = tags_[s + w];
-        ev.dirty = meta_[s + w].dirty;
-        ev.presence = meta_[s + w].presence;
+      // w = order[n] — the LRU victim (full set) or the first free way —
+      // rotated in as MRU. The word paths extract w from the order words
+      // they already hold and rotate in place; ev is read before
+      // meta_[s + w] is overwritten below.
+      const bool evict = n == ways_;
+      if (evict) {
         n = ways_ - 1;
       } else {
-        w = order[n];  // first free way (tail of the permutation)
         valid_cnt_[set] = static_cast<uint32_t>(n + 1);
       }
-      std::memmove(order + 1, order, static_cast<size_t>(n));
-      order[0] = static_cast<uint8_t>(w);
+      if (n < 8) {
+        const uint64_t v0 = row[0];
+        w = static_cast<int>((v0 >> (n * 8)) & 0xff);
+        row[0] = rot_word(v0, n, static_cast<uint8_t>(w));
+      } else if (n < 16) {
+        const uint64_t v0 = row[0];
+        const uint64_t v1 = row[1];
+        w = static_cast<int>((v1 >> ((n - 8) * 8)) & 0xff);
+        row[0] = (v0 << 8) | static_cast<uint64_t>(w);
+        row[1] = rot_word(v1, n - 8, static_cast<uint8_t>(v0 >> 56));
+      } else {
+        w = ord_byte(row, n);
+        rotate_generic(row, n, static_cast<uint8_t>(w));
+      }
+      if (evict) {
+        ev.valid = true;
+        ev.line = meta_[s + w].tag;
+        ev.dirty = meta_[s + w].dirty;
+        ev.presence = meta_[s + w].presence;
+      }
     }
-    tags_[s + w] = line;
-    fp_[s + w] = fingerprint(line);
+    fp_set(set, w, fingerprint(line));
     meta_[s + w] = Line{line, 0, dirty};
     *out = &meta_[s + w];
     return ev;
   }
 
+  void fp_set(uint64_t set, int w, uint8_t b) {
+    const int sh = (w & 7) * 8;
+    uint64_t& word = rows_[set * 2 * sw_ + (w >> 3)];
+    word = (word & ~(uint64_t{0xff} << sh)) | (uint64_t{b} << sh);
+  }
+
+  /// The set's order row (follows its fingerprint row in rows_).
+  uint64_t* ord_row(uint64_t set) { return &rows_[set * 2 * sw_ + sw_]; }
+
   void reset_order() {
+    // Every row starts as the identity permutation 0,1,2,...; unused tail
+    // bytes stay 0 (they are never read as positions — see
+    // find_order_pos).
+    std::vector<uint64_t> pattern(sw_, 0);
+    for (int w = 0; w < ways_; ++w) {
+      pattern[w >> 3] |= uint64_t{static_cast<uint8_t>(w)} << ((w & 7) * 8);
+    }
     for (uint64_t s = 0; s < sets_; ++s) {
-      for (int w = 0; w < ways_; ++w) {
-        order_[s * ways_ + w] = static_cast<uint8_t>(w);
-      }
+      for (uint32_t j = 0; j < sw_; ++j) ord_row(s)[j] = pattern[j];
     }
   }
 
   uint64_t sets_;
   int ways_;
+  uint32_t sw_;                      // words per fp_/ord_ row: ceil(ways/8)
   uint64_t mask_ = 0;
   int set_shift_ = 0;
-  bool wide_ = false;               // > 255 ways: timestamp LRU fallback
-  uint64_t stamp_ = 0;              // wide mode recency counter
-  std::vector<uint64_t> tags_;      // position-stable line numbers
-  std::vector<Line> meta_;          // position-stable tag/presence/dirty
-  std::vector<uint8_t> fp_;         // fingerprint byte per way
-  std::vector<uint8_t> order_;      // per-set way permutation, MRU-first
-  std::vector<uint64_t> stamps_;    // wide mode: last-use stamp per way
-  std::vector<uint32_t> valid_cnt_; // valid ways per set
+  bool wide_ = false;                // > 255 ways: timestamp LRU fallback
+  uint64_t stamp_ = 0;               // wide mode recency counter
+  std::vector<Line> meta_;           // position-stable tag/presence/dirty
+  std::vector<uint64_t> rows_;       // per set: fp words, then order words
+  std::vector<uint64_t> stamps_;     // wide mode: last-use stamp per way
+  std::vector<uint32_t> valid_cnt_;  // valid ways per set
 };
 
 }  // namespace cachesched

@@ -21,12 +21,14 @@ double SimResult::core_utilization() const {
 
 namespace {
 
-/// One expanded trace operation in a core's run buffer.
+/// One expanded trace operation in a core's run buffer: 16 bytes. `meta`
+/// packs the per-reference instruction charge with the write flag; 0
+/// marks a compute op (mem ops always charge at least one instruction).
 struct BufOp {
-  uint64_t v;      // kMem: line number; compute: instruction count
-  uint32_t instr;  // kMem: instructions charged per reference; compute: 0
-  bool is_write;
+  uint64_t v;     // kMem: line number; compute: instruction count
+  uint32_t meta;  // kMem: instr_per_ref | (is_write ? kBufWrite : 0)
 };
+inline constexpr uint32_t kBufWrite = 1u << 31;
 
 /// Ops buffered per core between refills. Large enough to amortize the
 /// per-block setup of a refill over many references, small enough to stay
@@ -75,7 +77,11 @@ struct CoreState {
 // (P <= 32) instead of heap churn on every shared-L2 access. The same
 // scan also yields the earliest event of any *other* core, which bounds
 // the dispatched core's local run-ahead (quantum), so the hot path never
-// rescans.
+// rescans. While the dispatched core's next shared-L2 access falls
+// strictly before every other core's event it is performed inline in the
+// same run (run_core) — the event the scan would pick next is this core's
+// anyway — so the per-reference path on the L2-dominated workloads never
+// leaves the run loop or spills its accumulator state.
 template <class S>
 SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
                    const TaskDag& dag, S& sched) {
@@ -100,9 +106,15 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
   MemChannel mem(cfg.mem_latency_cycles, cfg.mem_service_cycles);
 
   std::vector<CoreState> cores(P);
-  // Event times, densely scanned by the main loop: core i's pending event
-  // time, or UINT64_MAX when idle. Kept in sync with cores[i].state/time.
+  // Event keys, densely scanned by the main loop: core i's pending event
+  // time pre-packed as (time << 5) | i, or UINT64_MAX when idle. Packing
+  // at the (rare) write keeps the per-event two-smallest reduction a pure
+  // chain of loads and cmovs; id bits never change the time order because
+  // cycle counts stay far below 2^58. Kept in sync with cores[i].
   std::vector<uint64_t> evt(P, UINT64_MAX);
+  auto evt_key = [](uint64_t time, int c) {
+    return (time << 5) | static_cast<uint32_t>(c);
+  };
   std::vector<uint32_t> indeg(dag.num_tasks());
   for (TaskId t = 0; t < dag.num_tasks(); ++t) {
     indeg[t] = dag.task(t).num_parents;
@@ -111,6 +123,16 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
   size_t completed = 0;
   uint64_t end_time = 0;
   std::vector<TaskId> ready_buf;
+
+  // Whole-run statistic accumulators, flushed into `res` once after the
+  // event loop: with one shared-L2 access per dispatch on the scaled
+  // configurations, per-dispatch zero+flush of these was measurable.
+  uint64_t acc_instr = 0;
+  uint64_t acc_l1_hits = 0;
+  uint64_t acc_l2_hits = 0;
+  uint64_t acc_l2_misses = 0;
+  uint64_t acc_invalidations = 0;
+  uint64_t acc_stall = 0;
 
   sched.reset(dag, P);
   sched.enqueue_ready(0, dag.roots());
@@ -129,7 +151,7 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
     core.time = std::max(core.time, now) + cfg.task_dispatch_cycles;
     core.busy += cfg.task_dispatch_cycles;
     core.state = CoreState::kRunning;
-    evt[c] = core.time;
+    evt[c] = evt_key(core.time, c);
   };
 
   // Expands the next batch of trace ops into core's run buffer, advancing
@@ -137,9 +159,14 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
   // trace exhausted). Expansion never looks at the caches or the clock, so
   // running ahead of the simulation is safe; per-block constants (stream
   // interleave error terms, the kRandom reciprocal) are set up once per
-  // refill and amortized over the batch.
+  // refill and amortized over the batch. kInterleave blocks expand
+  // through the per-DAG derived table (InterleaveFast) and the
+  // specialized 1/2/3-stream schedules of interleave_expand — the same
+  // emission sequence as the reference loop, pinned by
+  // tests/golden_sim_test.cc and the equality test in tests/trace_test.cc.
   const InterleaveSide* const inter = dag.interleave_data();
-  auto refill = [line_shift, inter](CoreState& core) {
+  const InterleaveFast* const ifast = dag.interleave_fast();
+  auto refill = [line_shift, inter, ifast](CoreState& core) {
     BufOp* const buf = core.buf;
     int len = 0;
     const PackedRef* const blocks = core.blocks;
@@ -152,20 +179,20 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
         case RefKind::kCompute:
           ++bi;
           ri = 0;
-          if (b.instr() != 0) buf[len++] = BufOp{b.instr(), 0, false};
+          if (b.instr() != 0) buf[len++] = BufOp{b.instr(), 0};
           break;
         case RefKind::kStride: {
           const uint64_t base = b.base();
           const int64_t stride = b.stride();
-          const uint32_t ipr = b.instr_per_ref();
-          const bool wr = b.is_write();
+          const uint32_t mw =
+              b.instr_per_ref() | (b.is_write() ? kBufWrite : 0u);
           uint32_t i = ri;
           const uint32_t end =
               std::min(b.count, i + static_cast<uint32_t>(kBufOps - len));
           for (; i < end; ++i) {
             const uint64_t addr =
                 base + static_cast<uint64_t>(static_cast<int64_t>(i) * stride);
-            buf[len++] = BufOp{addr >> line_shift, ipr, wr};
+            buf[len++] = BufOp{addr >> line_shift, mw};
           }
           if (i == b.count) {
             ++bi;
@@ -179,8 +206,8 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
           const uint64_t base = b.base();
           const uint64_t seed = b.seed();
           const uint64_t region = b.region_len();
-          const uint32_t ipr = b.instr_per_ref();
-          const bool wr = b.is_write();
+          const uint32_t mw =
+              b.instr_per_ref() | (b.is_write() ? kBufWrite : 0u);
           // h % region with the division strength-reduced to a multiply:
           // with magic = floor(2^64/region), q = mulhi(h, magic) is either
           // floor(h/region) or one less (h*magic/2^64 > h/region - 1 since
@@ -203,7 +230,7 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
               rem = h - q * region;
               if (rem >= region) rem -= region;
             }
-            buf[len++] = BufOp{(base + rem) >> line_shift, ipr, wr};
+            buf[len++] = BufOp{(base + rem) >> line_shift, mw};
           }
           if (i == b.count) {
             ++bi;
@@ -214,53 +241,66 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
           break;
         }
         case RefKind::kInterleave: {
-          // Proportional schedule: stream s should have emitted
-          // floor((i+1) * lines_s / total) lines after step i; each step
-          // emits the first stream running behind that target. Instead of
-          // evaluating the division per step, keep the Bresenham-style
-          // running products prog_s = (i+1)*lines_s and goal_s =
-          // (em_s+1)*n; "behind target" is prog_s >= goal_s, prog gains
-          // lines_s per step and goal gains n per emission. Both products
-          // are < 2^64 (uint32 factors), so uint64 arithmetic is exact.
-          const InterleaveSide& sd = inter[b.side_index()];
           const uint32_t n = b.count;
           const uint32_t ipr = b.instr_per_ref();
-          const int ns = static_cast<int>(sd.num_streams);
-          const uint32_t lb = sd.line_bytes;
+          const InterleaveFast& f = ifast[b.side_index()];
           uint32_t i = ri;
-          uint64_t prog[kMaxStreams];
-          uint64_t goal[kMaxStreams];
-          uint64_t addr_next[kMaxStreams];
-          for (int s = 0; s < ns; ++s) {
-            prog[s] = (static_cast<uint64_t>(i) + 1) * sd.streams[s].lines;
-            goal[s] = (static_cast<uint64_t>(core.em[s]) + 1) * n;
-            addr_next[s] =
-                sd.streams[s].base + static_cast<uint64_t>(core.em[s]) * lb;
-          }
           const uint32_t end =
               std::min(n, i + static_cast<uint32_t>(kBufOps - len));
-          for (; i < end; ++i) {
-            int pick = -1;
-            for (int s = 0; s < ns; ++s) {
-              if (prog[s] >= goal[s]) {
-                pick = s;
-                break;
-              }
+          if (f.kind != InterleaveFast::kGeneric) {
+            const uint32_t mw[kMaxStreams] = {
+                ipr | (f.write[0] ? kBufWrite : 0u),
+                ipr | (f.write[1] ? kBufWrite : 0u),
+                ipr | (f.write[2] ? kBufWrite : 0u)};
+            if (i < end) {
+              interleave_expand(f, n, i, end, core.em,
+                                [&](uint64_t addr, int s) {
+                                  buf[len++] = BufOp{addr >> line_shift, mw[s]};
+                                });
+              i = end;
             }
-            if (pick < 0) {  // floor rounding gap: emit any unfinished stream
+          } else {
+            // Reference expansion for blocks whose error terms would not
+            // fit int64 (>= 2^31 refs): the uint64 Bresenham products
+            // prog_s = (i+1)*lines_s vs goal_s = (em_s+1)*n; "behind
+            // target" is prog_s >= goal_s, prog gains lines_s per step
+            // and goal gains n per emission (exact: uint32 factors).
+            const InterleaveSide& sd = inter[b.side_index()];
+            const int ns = static_cast<int>(sd.num_streams);
+            const uint32_t lb = sd.line_bytes;
+            uint64_t prog[kMaxStreams];
+            uint64_t goal[kMaxStreams];
+            uint64_t addr_next[kMaxStreams];
+            for (int s = 0; s < ns; ++s) {
+              prog[s] = (static_cast<uint64_t>(i) + 1) * sd.streams[s].lines;
+              goal[s] = (static_cast<uint64_t>(core.em[s]) + 1) * n;
+              addr_next[s] =
+                  sd.streams[s].base + static_cast<uint64_t>(core.em[s]) * lb;
+            }
+            for (; i < end; ++i) {
+              int pick = -1;
               for (int s = 0; s < ns; ++s) {
-                if (core.em[s] < sd.streams[s].lines) {
+                if (prog[s] >= goal[s]) {
                   pick = s;
                   break;
                 }
               }
+              if (pick < 0) {  // floor rounding gap: any unfinished stream
+                for (int s = 0; s < ns; ++s) {
+                  if (core.em[s] < sd.streams[s].lines) {
+                    pick = s;
+                    break;
+                  }
+                }
+              }
+              buf[len++] =
+                  BufOp{addr_next[pick] >> line_shift,
+                        ipr | (sd.streams[pick].is_write ? kBufWrite : 0u)};
+              ++core.em[pick];
+              goal[pick] += n;
+              addr_next[pick] += lb;
+              for (int s = 0; s < ns; ++s) prog[s] += sd.streams[s].lines;
             }
-            buf[len++] = BufOp{addr_next[pick] >> line_shift, ipr,
-                               sd.streams[pick].is_write};
-            ++core.em[pick];
-            goal[pick] += n;
-            addr_next[pick] += lb;
-            for (int s = 0; s < ns; ++s) prog[s] += sd.streams[s].lines;
           }
           if (i == n) {
             ++bi;
@@ -280,29 +320,127 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
     return len;
   };
 
-  // Processes core c's buffered trace ops until it needs the shared L2,
-  // its task completes, or it runs `quantum` cycles past `other_min` —
-  // the earliest pending event of another core (then it yields; its own
-  // `time` is its event). Statistics accumulate in locals and state is
-  // written back once on exit. The yield check sits before every op,
-  // exactly where the event-queue formulation had it.
-  auto run_local = [&](int c, uint64_t other_min) {
+  // Runs core c: consumes buffered trace ops, refilling as needed, and
+  // performs shared-L2 accesses *inline* while this core's access time is
+  // strictly before `other_min` (the earliest pending event of any other
+  // core) — exactly the accesses the event loop would have chained back
+  // to this core anyway, now without leaving the loop or spilling the
+  // accumulator locals. Exits when the task's trace is exhausted
+  // (kCompleting), when it runs `quantum` cycles past `other_min`
+  // (yield), or when an access is due at or after `other_min` — then the
+  // reference is left pending (kPendingL2) for the next dispatch, which
+  // re-enters here and performs it first. The yield check sits before
+  // every op and every event-ordering decision matches the event-queue
+  // formulation; tests/golden_sim_test.cc pins the equivalence.
+  auto run_core = [&](int c, uint64_t other_min, uint64_t other_key) {
     CoreState& core = cores[c];
     SetAssocCache& cache = l1[c];
     const uint64_t limit =
         other_min > UINT64_MAX - quantum ? UINT64_MAX : other_min + quantum;
+    const uint32_t mybit = 1u << c;
 
     int head = core.head;
     int len = core.len;
     uint64_t time = core.time;
     uint64_t busy = 0;
-    uint64_t instr = 0;
-    uint64_t l1_hits = 0;
     uint32_t refs = 0;
+
+    // One shared-L2 access of (line, write) at time t: L2 probe/fill with
+    // presence/inclusion bookkeeping and the memory channel on a miss,
+    // then the L1 fill. Returns the core cycles the access costs beyond
+    // the first of the reference's `ipr` charged instructions. Shared
+    // state mutates at the same global times in the same order as the
+    // pre-fusion engine.
+    auto l2_access = [&](uint64_t t, uint64_t line, bool write,
+                         uint32_t ipr) -> uint64_t {
+      uint64_t lat;
+      SetAssocCache::Line* e;
+      SetAssocCache::Evicted evd;
+      if (l2.access_or_install(line, write, &e, &evd)) {
+        if (cfg.l2_banks > 0) {
+          // Distributed L2: local-bank latency plus ring hops to the
+          // line's home bank (address-interleaved).
+          const int banks = cfg.l2_banks;
+          const int home =
+              static_cast<int>(line % static_cast<uint64_t>(banks));
+          const int slot =
+              static_cast<int>(static_cast<int64_t>(c) * banks / cfg.cores);
+          const int d = std::abs(home - slot);
+          const int hops = std::min(d, banks - d);
+          lat = cfg.l2_local_hit_cycles +
+                static_cast<uint64_t>(hops) * cfg.bank_hop_cycles;
+        } else {
+          lat = cfg.l2_hit_cycles;
+        }
+        ++acc_l2_hits;
+        if (write) {
+          uint32_t others = e->presence & ~mybit;
+          while (others) {
+            const int i = std::countr_zero(others);
+            others &= others - 1;
+            l1[i].invalidate(line);
+            ++acc_invalidations;
+          }
+          e->presence &= mybit;
+          e->dirty = true;
+        }
+        e->presence |= mybit;
+      } else {
+        ++acc_l2_misses;
+        if (collect_stats) ++res.task_l2_misses[core.task];
+        const uint64_t ready = mem.request(t);
+        lat = ready - t;
+        acc_stall += lat;
+        e->presence = mybit;
+        // Non-inclusive L2: an eviction does not back-invalidate L1
+        // copies (see header comment); a dirty victim is written
+        // off-chip.
+        if (evd.valid && evd.dirty) mem.post_writeback(t);
+      }
+      // L1 fill, maintaining L2 inclusion bookkeeping. The serving L2
+      // entry's slot index rides in the L1 entry's otherwise-unused
+      // presence field (presence is an L2-only concept), so when the
+      // victim is evicted later, a tag compare against the memoized slot
+      // usually replaces the L2 re-probe.
+      SetAssocCache::Line* installed;
+      const auto ev = cache.install(line, write, &installed);
+      installed->presence = l2.slot_of(e);
+      if (ev.valid) {
+        SetAssocCache::Line* l2v = l2.entry_at(ev.presence);
+        if (l2v->tag != ev.line) l2v = l2.probe(ev.line);
+        if (l2v != nullptr) {
+          l2v->presence &= ~mybit;
+          // Unconditional OR: the victim's dirty bit is data-dependent
+          // and mispredicts as a branch.
+          l2v->dirty |= ev.dirty;
+        } else if (ev.dirty) {
+          // Inclusion was broken by a back-invalidation race; data must
+          // still reach memory.
+          mem.post_writeback(t);
+        }
+      }
+      return (ipr - 1) + lat;
+    };
 
     enum : int { kYield, kDone, kMiss } exit_kind;
 
+    // Access about to be performed; primed from the pending reference on
+    // a kPendingL2 re-dispatch (performed first, at this core's event
+    // time — the reference itself was already counted when it missed the
+    // L1). Keeping one l2_access call site lets it inline into the loop.
+    uint64_t a_line = core.pend_line;
+    bool a_wr = core.pend_write;
+    uint32_t a_ipr = core.pend_instr;
+    bool do_access = core.state == CoreState::kPendingL2;
+
     for (;;) {
+      if (do_access) {
+        do_access = false;
+        const uint64_t cost = l2_access(time, a_line, a_wr, a_ipr);
+        time += cost;
+        busy += cost;
+        continue;
+      }
       if (time > limit) {
         exit_kind = kYield;
         break;
@@ -318,37 +456,46 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
       }
       const BufOp& op = core.buf[head];
       ++head;
-      if (op.instr == 0) {  // compute
+      if (op.meta == 0) {  // compute
         time += op.v;
         busy += op.v;
-        instr += op.v;
+        acc_instr += op.v;
         continue;
       }
+      const uint32_t ipr = op.meta & ~kBufWrite;
+      const bool wr = (op.meta & kBufWrite) != 0;
       ++refs;
-      instr += op.instr;
+      acc_instr += ipr;
       if (SetAssocCache::Line* e = cache.access(op.v)) {
-        if (op.is_write) e->dirty = true;
-        ++l1_hits;
-        time += op.instr;
-        busy += op.instr;
+        e->dirty |= wr;
+        ++acc_l1_hits;
+        time += ipr;
+        busy += ipr;
+      } else if (evt_key(time, c) < other_key) {
+        // This access is the event the scan would pick next (its packed
+        // (time, id) key precedes every other core's — the scan's exact
+        // rule, including ties), so perform it without yielding.
+        a_line = op.v;
+        a_wr = wr;
+        a_ipr = ipr;
+        do_access = true;
       } else {
         core.pend_line = op.v;
-        core.pend_write = op.is_write;
-        core.pend_instr = op.instr;
+        core.pend_write = wr;
+        core.pend_instr = ipr;
         exit_kind = kMiss;
         break;
       }
     }
     core.head = head;
     core.time = time;
-    evt[c] = time;
+    evt[c] = evt_key(time, c);
     core.busy += busy;
-    res.instructions += instr;
-    res.l1_hits += l1_hits;
     if (collect_stats) res.task_refs[core.task] += refs;
     switch (exit_kind) {
       case kYield:
-        break;  // still kRunning; core.time is its re-queue event
+        core.state = CoreState::kRunning;  // core.time is its re-queue event
+        break;
       case kDone:
         core.state = CoreState::kCompleting;
         break;
@@ -356,87 +503,6 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
         core.state = CoreState::kPendingL2;
         break;
     }
-  };
-
-  // Fills core c's L1 with `line`, maintaining L2 inclusion bookkeeping.
-  // `l2e` is the L2 entry that serves the fill. Its slot index rides in
-  // the L1 entry's otherwise-unused presence field (presence is an
-  // L2-only concept), so when the victim is evicted later, a tag compare
-  // against the memoized slot usually replaces the L2 re-probe.
-  auto l1_fill = [&](int c, uint64_t line, bool write, uint64_t now,
-                     SetAssocCache::Line* l2e) {
-    SetAssocCache::Line* installed;
-    const auto ev = l1[c].install(line, write, &installed);
-    installed->presence = l2.slot_of(l2e);
-    if (ev.valid) {
-      SetAssocCache::Line* l2v = l2.entry_at(ev.presence);
-      if (l2v->tag != ev.line) l2v = l2.probe(ev.line);
-      if (l2v != nullptr) {
-        l2v->presence &= ~(1u << c);
-        if (ev.dirty) l2v->dirty = true;
-      } else if (ev.dirty) {
-        // Inclusion was broken by a back-invalidation race; data must still
-        // reach memory.
-        mem.post_writeback(now);
-      }
-    }
-  };
-
-  // Shared-L2 access of core c's pending reference at global time t.
-  // `other_min` is the earliest pending event of another core, unchanged
-  // by this access, forwarded to the local run that follows it.
-  auto do_l2_access = [&](int c, uint64_t t, uint64_t other_min) {
-    CoreState& core = cores[c];
-    const uint64_t line = core.pend_line;
-    const uint32_t mybit = 1u << c;
-    uint64_t lat;
-    SetAssocCache::Line* e;
-    SetAssocCache::Evicted evd;
-    if (l2.access_or_install(line, core.pend_write, &e, &evd)) {
-      if (cfg.l2_banks > 0) {
-        // Distributed L2: local-bank latency plus ring hops to the line's
-        // home bank (address-interleaved).
-        const int banks = cfg.l2_banks;
-        const int home = static_cast<int>(line % static_cast<uint64_t>(banks));
-        const int slot =
-            static_cast<int>(static_cast<int64_t>(c) * banks / cfg.cores);
-        const int d = std::abs(home - slot);
-        const int hops = std::min(d, banks - d);
-        lat = cfg.l2_local_hit_cycles +
-              static_cast<uint64_t>(hops) * cfg.bank_hop_cycles;
-      } else {
-        lat = cfg.l2_hit_cycles;
-      }
-      ++res.l2_hits;
-      if (core.pend_write) {
-        uint32_t others = e->presence & ~mybit;
-        while (others) {
-          const int i = std::countr_zero(others);
-          others &= others - 1;
-          l1[i].invalidate(line);
-          ++res.invalidations;
-        }
-        e->presence &= mybit;
-        e->dirty = true;
-      }
-      e->presence |= mybit;
-    } else {
-      ++res.l2_misses;
-      if (collect_stats) ++res.task_l2_misses[core.task];
-      const uint64_t ready = mem.request(t);
-      lat = ready - t;
-      res.mem_stall_cycles += lat;
-      e->presence = mybit;
-      // Non-inclusive L2: an eviction does not back-invalidate L1 copies
-      // (see header comment); a dirty victim is written off-chip.
-      if (evd.valid && evd.dirty) mem.post_writeback(t);
-    }
-    l1_fill(c, line, core.pend_write, t, e);
-    const uint64_t cost = (core.pend_instr - 1) + lat;
-    core.time = t + cost;
-    core.busy += cost;
-    core.state = CoreState::kRunning;
-    run_local(c, other_min);
   };
 
   auto do_complete = [&](int c, uint64_t t) {
@@ -472,47 +538,43 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
 
   while (completed < dag.num_tasks()) {
     // One scan finds the next event — the non-idle core with the smallest
-    // (time, id) — and the earliest event of any other core.
-    int c = -1;
-    uint64_t t1 = UINT64_MAX;  // picked core's event time
-    uint64_t t2 = UINT64_MAX;  // earliest event among the other cores
+    // (time, id) — and the earliest event of any other core, as a
+    // branch-free two-smallest reduction over the pre-packed keys (the
+    // compared values are data-dependent and mispredict heavily as
+    // branches).
+    uint64_t k1 = UINT64_MAX;  // smallest (time, id) key
+    uint64_t k2 = UINT64_MAX;  // second-smallest key
     for (int i = 0; i < P; ++i) {
-      const uint64_t ti = evt[i];
-      if (ti < t1) {
-        t2 = t1;
-        t1 = ti;
-        c = i;
-      } else if (ti < t2) {
-        t2 = ti;
-      }
+      const uint64_t key = evt[i];
+      const uint64_t hi = key > k1 ? key : k1;
+      k1 = key < k1 ? key : k1;
+      k2 = hi < k2 ? hi : k2;
     }
-    if (c < 0) {
+    if (k1 == UINT64_MAX) {
       throw std::runtime_error(
           "simulation deadlock: tasks remain but no core is active "
           "(unreachable tasks in DAG?)");
     }
-    switch (cores[c].state) {
-      case CoreState::kRunning:
-        run_local(c, t2);
-        break;
-      case CoreState::kPendingL2:
-        do_l2_access(c, t1, t2);
-        break;
-      case CoreState::kCompleting:
-        do_complete(c, t1);
-        break;
-      case CoreState::kIdle:
-        break;  // unreachable
-    }
-    // While core c's next L2 access still precedes every other core's
-    // event, it is the event the scan would pick — chain it directly.
-    // (Other cores' times are unchanged by c's accesses, so t2 stands.)
-    while (cores[c].state == CoreState::kPendingL2 && cores[c].time < t2) {
-      do_l2_access(c, cores[c].time, t2);
+    const int c = static_cast<int>(k1 & 31);
+    const uint64_t t1 = k1 >> 5;  // picked core's event time
+    const uint64_t t2 = k2 >= (uint64_t{1} << 58) ? UINT64_MAX : k2 >> 5;
+    if (cores[c].state == CoreState::kCompleting) {
+      do_complete(c, t1);
+    } else {
+      // run_core performs a pending access first (at t1 == the core's
+      // own time) and keeps chaining accesses inline while their keys
+      // precede k2, so no separate chain loop remains here.
+      run_core(c, t2, k2);
     }
   }
 
   res.cycles = end_time;
+  res.instructions = acc_instr;
+  res.l1_hits = acc_l1_hits;
+  res.l2_hits = acc_l2_hits;
+  res.l2_misses = acc_l2_misses;
+  res.invalidations = acc_invalidations;
+  res.mem_stall_cycles = acc_stall;
   res.writebacks = mem.writebacks();
   res.mem_queue_cycles = mem.queue_delay_cycles();
   res.mem_busy_cycles = mem.busy_cycles();

@@ -107,5 +107,76 @@ TEST(LruStack, SequentialScanDistances) {
   }
 }
 
+// Property test against the naive O(n) stack across a matrix of access
+// shapes and slot capacities. Small initial capacities put accesses right
+// at compaction boundaries (capacity_ is rounded up to 1024, so 20k+
+// accesses cross several compact+grow cycles); line values are spread
+// over distant regions so the paged map must handle page-table growth and
+// page-boundary neighbours, not just one hot block.
+TEST(LruStack, MatchesNaiveAcrossPatternsAndCompactionBoundaries) {
+  struct Pattern {
+    const char* name;
+    uint64_t (*line)(Xoshiro256&, int);
+  };
+  const Pattern patterns[] = {
+      {"uniform",
+       [](Xoshiro256& rng, int) { return rng.next_below(700); }},
+      {"streams",  // interleaved sequential sweeps of far-apart regions
+       [](Xoshiro256& rng, int i) {
+         const uint64_t region = rng.next_below(3);
+         return region * (uint64_t{1} << 40) + static_cast<uint64_t>(i) / 3;
+       }},
+      {"page-edges",  // cluster around 512-line page boundaries
+       [](Xoshiro256& rng, int) {
+         const uint64_t page = rng.next_below(64);
+         return page * 512 + (rng.next_below(2) == 0
+                                  ? 511
+                                  : rng.next_below(2) * 510);
+       }},
+      {"mixed-hot-cold", [](Xoshiro256& rng, int) {
+         return rng.next_below(100) < 70
+                    ? rng.next_below(8)
+                    : (uint64_t{1} << 33) + rng.next_below(4000);
+       }},
+  };
+  for (const Pattern& p : patterns) {
+    for (const size_t cap : {size_t{1}, size_t{64}, size_t{1} << 16}) {
+      LruStackModel m(cap);
+      NaiveStack naive;
+      Xoshiro256 rng(99);
+      for (int i = 0; i < 20000; ++i) {
+        const uint64_t line = p.line(rng, i);
+        const TaskId task = static_cast<TaskId>(i & 1023);
+        const StackRef a = m.access(line, task);
+        const StackRef b = naive.access(line, task);
+        ASSERT_EQ(a.distance, b.distance)
+            << p.name << " cap=" << cap << " i=" << i;
+        ASSERT_EQ(a.prev_task, b.prev_task)
+            << p.name << " cap=" << cap << " i=" << i;
+      }
+      EXPECT_EQ(m.accesses(), 20000u);
+    }
+  }
+}
+
+// Exactly-at-the-boundary check: with the minimum slot capacity (1024),
+// walk access counts that straddle each compaction trigger and verify
+// distances stay exact through it.
+TEST(LruStack, CompactionBoundaryExact) {
+  LruStackModel m(1);  // rounded up to the 1024 floor
+  NaiveStack naive;
+  // 600 distinct lines touched round-robin: time_ hits 1024 mid-cycle,
+  // compacts to 600 live slots, grows capacity to 2048, and keeps going.
+  for (int round = 0; round < 12; ++round) {
+    for (uint64_t l = 0; l < 600; ++l) {
+      const StackRef a = m.access(l, static_cast<TaskId>(round));
+      const StackRef b = naive.access(l, static_cast<TaskId>(round));
+      ASSERT_EQ(a.distance, b.distance) << "round " << round << " l " << l;
+      ASSERT_EQ(a.prev_task, b.prev_task);
+    }
+  }
+  EXPECT_EQ(m.distinct_lines(), 600u);
+}
+
 }  // namespace
 }  // namespace cachesched

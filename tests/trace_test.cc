@@ -191,5 +191,94 @@ TEST(Trace, PackRejectsOversizedInstrPerRef) {
   EXPECT_THROW(pack_ref(b, &side), std::invalid_argument);
 }
 
+// The engine's specialized interleave refill (interleave_expand over the
+// per-DAG InterleaveFast constants) must emit byte-for-byte the schedule
+// of the reference implementation, TraceCursor::next(), for every stream
+// configuration and from any resume boundary. Property test: random
+// 1-3-stream blocks (including empty streams, equal lines, extreme
+// imbalance), expanded in randomly sized chunks, against a cursor.
+TEST(Trace, InterleaveExpandMatchesCursorRandomized) {
+  Xoshiro256 rng(2024);
+  for (int iter = 0; iter < 400; ++iter) {
+    const int ns = 1 + static_cast<int>(rng.next_below(3));
+    StreamRef s[kMaxStreams];
+    uint32_t total = 0;
+    for (int i = 0; i < ns; ++i) {
+      uint32_t lines;
+      switch (rng.next_below(4)) {
+        case 0: lines = 0; break;                  // empty stream
+        case 1: lines = 1 + rng.next_below(4); break;
+        case 2: lines = 1 + rng.next_below(64); break;
+        default: lines = 1 + rng.next_below(2000); break;
+      }
+      if (ns == 2 && i == 1 && rng.next_below(3) == 0) {
+        lines = s[0].lines;  // exercise the equal-length kAlt2 path
+      }
+      s[i] = {rng.next() & 0xFFFFFF00, lines, rng.next_below(2) == 0};
+      total += lines;
+    }
+    if (total == 0) continue;
+    const uint32_t lb = rng.next_below(2) == 0 ? 64 : 128;
+    const RefBlock blk = RefBlock::interleave(s, ns, lb, 2);
+    std::vector<InterleaveSide> side;
+    const PackedRef packed = pack_ref(blk, &side);
+    const InterleaveFast fast = make_interleave_fast(side[0]);
+    ASSERT_NE(fast.kind, InterleaveFast::kGeneric);
+    ASSERT_NE(fast.kind, InterleaveFast::kEmpty);
+
+    TraceCursor cur(&packed, 1, side.data());
+    uint32_t em[kMaxStreams] = {0, 0, 0};
+    uint32_t i = 0;
+    while (i < total) {
+      const uint32_t chunk = std::min<uint32_t>(
+          total - i, 1 + static_cast<uint32_t>(rng.next_below(97)));
+      interleave_expand(fast, total, i, i + chunk, em,
+                        [&](uint64_t addr, int cs) {
+                          const TraceOp op = cur.next();
+                          ASSERT_EQ(op.kind, TraceOp::kMem);
+                          ASSERT_EQ(op.addr, addr);
+                          ASSERT_EQ(op.is_write, fast.write[cs]);
+                        });
+      i += chunk;
+    }
+    EXPECT_EQ(cur.next().kind, TraceOp::kDone);
+  }
+}
+
+// Derived-table classification and the stream compaction that backs it.
+TEST(Trace, InterleaveFastClassification) {
+  auto make_side = [](std::initializer_list<uint32_t> lines) {
+    InterleaveSide sd;
+    sd.line_bytes = 128;
+    for (uint32_t l : lines) {
+      sd.streams[sd.num_streams++] = {0x1000u * (sd.num_streams + 1), l,
+                                      false};
+    }
+    return sd;
+  };
+  EXPECT_EQ(make_interleave_fast(make_side({})).kind, InterleaveFast::kEmpty);
+  EXPECT_EQ(make_interleave_fast(make_side({0, 0})).kind,
+            InterleaveFast::kEmpty);
+  EXPECT_EQ(make_interleave_fast(make_side({7})).kind,
+            InterleaveFast::kSingle);
+  // An empty stream never emits, so it is compacted away.
+  EXPECT_EQ(make_interleave_fast(make_side({0, 9})).kind,
+            InterleaveFast::kSingle);
+  EXPECT_EQ(make_interleave_fast(make_side({5, 5})).kind,
+            InterleaveFast::kAlt2);
+  EXPECT_EQ(make_interleave_fast(make_side({5, 6})).kind,
+            InterleaveFast::kPair);
+  EXPECT_EQ(make_interleave_fast(make_side({5, 0, 6})).kind,
+            InterleaveFast::kPair);
+  EXPECT_EQ(make_interleave_fast(make_side({5, 6, 11})).kind,
+            InterleaveFast::kTriple);
+  // Too many references for the int64 error terms: expanded generically.
+  InterleaveSide huge = make_side({0});
+  huge.num_streams = 2;
+  huge.streams[0] = {0, 1u << 31, false};
+  huge.streams[1] = {1 << 20, 3, true};
+  EXPECT_EQ(make_interleave_fast(huge).kind, InterleaveFast::kGeneric);
+}
+
 }  // namespace
 }  // namespace cachesched

@@ -19,6 +19,9 @@
 //   cachesched_cli perf  [--quick] [--reps=N] [--apps=a,b,...]
 //                        [--out=BENCH_sim.json]       # fixed perf suite;
 //                        diff two outputs with tools/perf_compare
+//   cachesched_cli perf --memory [--apps=mergesort] [--scale=1.0]
+//                        [--cores=8]    # deterministic DAG resident-size
+//                        report (trace arena + task metadata), no timing
 //
 // Everywhere an app name is accepted (--app, --apps), a synthetic
 // generator spec like "dnc:depth=8,fanout=4,ws=64K,share=0.3" works too
@@ -199,7 +202,45 @@ int cmd_sweep(const CliArgs& args) {
   return 0;
 }
 
+/// `perf --memory`: deterministic resident-size report (no timing) for
+/// the paper-scale footprint question — peak trace-arena and
+/// task-metadata bytes of the built DAG, per workload.
+int cmd_perf_memory(const CliArgs& args) {
+  const double scale = args.get_double("scale", 1.0);
+  const int cores = static_cast<int>(args.get_int("cores", 8));
+  const std::vector<std::string> apps =
+      split_workload_list(args.get("apps", "mergesort"));
+  AppOptions opt;
+  opt.scale = scale;
+  opt.mergesort_task_ws = static_cast<uint64_t>(args.get_int("task-ws", 0));
+  if (const int rc = args.check_unused()) return rc;
+  const CmpConfig cfg = default_config(cores).scaled(scale);
+  Table t({"app", "tasks", "refs", "trace_arena_MB", "task_MB", "edge_MB",
+           "group_MB", "total_MB", "B/task", "refs/B"});
+  for (const std::string& app : apps) {
+    const Workload w = make_workload(app, cfg, opt);
+    const TaskDag::MemoryStats m = w.dag.memory_stats();
+    const double mb = 1024.0 * 1024.0;
+    t.add_row({app, Table::num(w.dag.num_tasks()),
+               Table::num(w.dag.total_refs()),
+               Table::num(static_cast<double>(m.trace_arena_bytes) / mb, 1),
+               Table::num(static_cast<double>(m.task_bytes) / mb, 1),
+               Table::num(static_cast<double>(m.edge_bytes) / mb, 1),
+               Table::num(static_cast<double>(m.group_bytes) / mb, 1),
+               Table::num(static_cast<double>(m.total()) / mb, 1),
+               Table::num(static_cast<double>(m.total()) /
+                              static_cast<double>(w.dag.num_tasks()), 1),
+               Table::num(static_cast<double>(w.dag.total_refs()) /
+                              static_cast<double>(m.total()), 1)});
+  }
+  std::cout << "DAG memory at scale " << scale << " (cores=" << cores
+            << "):\n";
+  t.emit();
+  return 0;
+}
+
 int cmd_perf(const CliArgs& args) {
+  if (args.get_bool("memory", false)) return cmd_perf_memory(args);
   perf::SuiteOptions opt;
   opt.quick = args.get_bool("quick", false);
   opt.reps = static_cast<int>(args.get_int("reps", 0));
