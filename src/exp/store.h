@@ -1,0 +1,144 @@
+// Content-addressed on-disk result store for the sweep engine
+// (ROADMAP item 4: sweep-as-a-service).
+//
+// Every sweep job is a deterministic simulation, so a completed
+// SweepRecord is a pure function of the job's full identity:
+//
+//   workload key (spec x AppOptions x capacity/geometry config)
+//     x scheduler x tag
+//     x timing-relevant configuration fields + simulator quantum
+//     x engine version salt
+//
+// store_key() canonicalizes that identity into a StoreKey — a stable
+// serialization plus its 64-bit FNV-1a content address. ResultStore maps
+// keys to record files under a directory:
+//
+//   DIR/<hh>/<hhhhhhhhhhhhhh>.rec     (git-style fanout on the first
+//                                      hex byte of the key hash)
+//
+// Each entry is a self-checking text record: a header line carrying the
+// format version and engine salt, the full key serialization (verified
+// on load, so a hash collision degrades to a miss instead of returning
+// the wrong job's result), the record payload, and a trailing FNV-1a
+// checksum over everything above it. Writes go to a unique temp file in
+// DIR and are renamed into place, so concurrent writers (sweep workers,
+// shard processes sharing one store) and interrupted sweeps never leave
+// a partially-written entry under a final name. Loads treat truncated,
+// corrupted, wrong-version and wrong-salt entries as misses (counted in
+// Stats::corrupt) and the sweep transparently re-simulates and rewrites
+// them.
+//
+// Invalidation rule: any change that alters simulation results —
+// engine timing, scheduler behavior, workload generation — must bump
+// kStoreEngineSalt; every stored record then misses and re-simulates.
+// Capacity/geometry and timing knobs need no bump: they are part of the
+// key.
+//
+// Sharding: shard_jobs() deterministically partitions one expanded job
+// matrix across N processes (round-robin by job index); each shard runs
+// `cachesched_cli sweep --shard=i/N --store=DIR` against the shared
+// store, and load_all() (the `sweep merge` subcommand) reassembles the
+// full matrix from the store in job order — byte-identical to a
+// single-process run of the same matrix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/sweep.h"
+
+namespace cachesched {
+
+/// Version salt baked into every store key and entry header. Bump when
+/// simulation results change (see file comment); stored records from
+/// other salts are treated as misses.
+inline constexpr const char* kStoreEngineSalt = "cachesched-engine-v5";
+
+/// Canonical full-job-identity key: `repr` is the stable serialization,
+/// `hash` its FNV-1a-64 content address (the on-disk name).
+struct StoreKey {
+  std::string repr;
+  uint64_t hash = 0;
+
+  bool operator==(const StoreKey&) const = default;
+
+  /// 16-hex-digit form of `hash` (the entry's file stem).
+  std::string hex() const;
+};
+
+/// Canonicalizes `job`'s full identity (see file comment). Jobs with a
+/// custom `factory` have no serializable identity and return nullopt —
+/// the sweep always re-simulates them.
+std::optional<StoreKey> store_key(const SweepJob& job);
+
+/// FNV-1a 64-bit over `data` (exposed for tests; the store uses it for
+/// both content addressing and entry checksums).
+uint64_t fnv1a64(const std::string& data);
+
+class ResultStore {
+ public:
+  struct Stats {
+    size_t hits = 0;     // loads served from disk
+    size_t misses = 0;   // loads with no entry
+    size_t corrupt = 0;  // entries rejected (checksum/version/key); also
+                         // counted in misses
+    size_t puts = 0;     // records written
+  };
+
+  /// Opens (creating if needed) the store rooted at `dir`. Throws
+  /// std::runtime_error if the directory cannot be created.
+  explicit ResultStore(std::string dir);
+
+  /// Loads the record stored under `key` into `*rec` — payload fields
+  /// only (params, num_tasks, total_refs, result); the caller owns
+  /// rec->job. Returns false on miss or on a rejected entry (corrupt /
+  /// truncated / wrong salt / key mismatch), logging rejections to
+  /// stderr. Thread-safe.
+  bool load(const StoreKey& key, SweepRecord* rec);
+
+  /// Atomically persists `rec` under `key` (temp file + rename; last
+  /// writer wins, which is safe because equal keys imply equal records).
+  /// Thread-safe.
+  void put(const StoreKey& key, const SweepRecord& rec);
+
+  /// True if an entry file exists for `key` (no validation).
+  bool contains(const StoreKey& key) const;
+
+  /// Final on-disk path of `key`'s entry.
+  std::string path_for(const StoreKey& key) const;
+
+  const std::string& dir() const { return dir_; }
+
+  /// Hit/miss/corrupt/put counters since construction. Not synchronized
+  /// with concurrent load/put calls — read after the sweep drains.
+  Stats stats() const;
+
+ private:
+  struct Impl;
+  std::string dir_;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Parses a "--shard=i/n" value ("0/2", "1/4", ...). Throws
+/// std::invalid_argument unless 0 <= i < n.
+std::pair<size_t, size_t> parse_shard(const std::string& s);
+
+/// Deterministic shard partition: the jobs of shard `i` of `n`
+/// (round-robin by job index, so shards stay balanced even when the
+/// matrix is sorted by cost). The union over i of shard_jobs(jobs, i, n)
+/// is exactly `jobs`.
+std::vector<SweepJob> shard_jobs(const std::vector<SweepJob>& jobs, size_t i,
+                                 size_t n);
+
+/// Assembles a full job matrix entirely from the store, in job order —
+/// the merge step after sharded sweeps. Throws std::runtime_error naming
+/// the number of missing/rejected jobs if any record is absent (e.g. a
+/// shard has not finished). Factory jobs are not loadable and count as
+/// missing.
+SweepResults load_all(ResultStore& store, const std::vector<SweepJob>& jobs);
+
+}  // namespace cachesched

@@ -11,6 +11,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "exp/store.h"
 #include "harness/workload_registry.h"
 #include "util/json.h"
 
@@ -39,14 +40,7 @@ std::vector<CmpConfig> configs_for(const SweepSpec& spec, double scale) {
   }
   for (CmpConfig& cfg : bases) {
     cfg = cfg.scaled(scale);
-    if (spec.l2_hit_cycles) cfg.l2_hit_cycles = *spec.l2_hit_cycles;
-    if (spec.mem_latency_cycles) {
-      cfg.mem_latency_cycles = *spec.mem_latency_cycles;
-    }
-    if (spec.l2_banks) cfg.l2_banks = *spec.l2_banks;
-    if (spec.task_dispatch_cycles) {
-      cfg.task_dispatch_cycles = *spec.task_dispatch_cycles;
-    }
+    spec.overrides.apply(cfg);
   }
   return bases;
 }
@@ -58,12 +52,37 @@ Workload build_one(const SweepJob& job) {
 
 }  // namespace
 
+std::string JobKey::str() const {
+  std::string out;
+  out.reserve(app.size() + sched.size() + tag.size() + 16);
+  out += app;
+  out += '\x1f';
+  out += sched;
+  out += '\x1f';
+  out += std::to_string(cores);
+  out += '\x1f';
+  out += tag;
+  return out;
+}
+
+size_t JobKeyHash::operator()(const JobKey& k) const {
+  const std::hash<std::string> h;
+  size_t seed = h(k.app);
+  auto mix = [&seed](size_t v) {
+    seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+  };
+  mix(h(k.sched));
+  mix(static_cast<size_t>(k.cores));
+  mix(h(k.tag));
+  return seed;
+}
+
 // The workload-relevant configuration signature is the capacity/geometry
 // fields a WorkloadBuilder may shape the workload from (see the contract
 // in harness/workload_registry.h). Timing-only fields (hit/latency
 // cycles, banking, dispatch cost) are excluded, so e.g. an L2-hit-time
 // ablation shares one workload across its points.
-std::string workload_key(const SweepJob& job) {
+WorkloadKey workload_key(const SweepJob& job) {
   std::ostringstream os;
   const AppOptions& o = job.opt;
   const CmpConfig& c = job.config;
@@ -71,7 +90,7 @@ std::string workload_key(const SweepJob& job) {
      << o.mergesort_task_ws << '\x1f' << o.fine_grained << '\x1f' << o.seed
      << '\x1f' << c.cores << '\x1f' << c.l1_bytes << '\x1f' << c.l1_ways
      << '\x1f' << c.l2_bytes << '\x1f' << c.l2_ways << '\x1f' << c.line_bytes;
-  return os.str();
+  return WorkloadKey{os.str()};
 }
 
 namespace {
@@ -126,7 +145,7 @@ std::vector<SweepJob> expand(const SweepSpec& spec) {
         job.opt.fine_grained = spec.fine_grained;
         job.opt.mergesort_task_ws = spec.mergesort_task_ws;
         job.opt.seed = spec.seed;
-        job.quantum_cycles = spec.quantum_cycles;
+        job.quantum_cycles = spec.overrides.quantum_cycles;
         if (spec.sequential_baseline) {
           job.sched = kSequentialSched;
           jobs.push_back(job);
@@ -156,6 +175,35 @@ SweepResults run_sweep(std::vector<SweepJob> jobs,
   std::mutex mu;         // guards completed, callbacks and first_error
   std::exception_ptr first_error;
 
+  // Store lookup: jobs whose full identity already has a persisted
+  // record load it and skip the build/simulate phases entirely. Hits are
+  // resolved serially up front (cheap file reads) so the later phases
+  // see a fixed pending set; their on_result callbacks fire first, in
+  // job order.
+  std::vector<std::optional<StoreKey>> keys;
+  std::vector<size_t> pending;  // indices of jobs still to simulate
+  pending.reserve(total);
+  if (options.store) {
+    keys.resize(total);
+    for (size_t i = 0; i < total; ++i) {
+      keys[i] = store_key(jobs[i]);
+      SweepRecord rec;
+      if (keys[i] && options.store->load(*keys[i], &rec)) {
+        rec.job = jobs[i];
+        rec.job.factory = nullptr;
+        records[i] = std::move(rec);
+        if (options.on_result) {
+          options.on_result(records[i], ++completed, total);
+        }
+      } else {
+        pending.push_back(i);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < total; ++i) pending.push_back(i);
+  }
+  const size_t num_pending = pending.size();
+
   // Runs body(0..n) on the worker pool; the first exception is kept for
   // the caller to rethrow.
   auto parallel_for = [&](size_t n, auto&& body) {
@@ -184,7 +232,12 @@ SweepResults run_sweep(std::vector<SweepJob> jobs,
     for (std::thread& t : pool) t.join();
   };
 
-  auto report = [&](size_t i) {
+  // Persists a freshly simulated record (when a store is attached), then
+  // reports it. Factory jobs have no store key and are never persisted.
+  auto finish = [&](size_t i) {
+    if (options.store && !keys.empty() && keys[i]) {
+      options.store->put(*keys[i], records[i]);
+    }
     if (options.on_result) {
       std::lock_guard<std::mutex> lock(mu);
       options.on_result(records[i], ++completed, total);
@@ -195,14 +248,15 @@ SweepResults run_sweep(std::vector<SweepJob> jobs,
   // each job builds its own workload inside the job, so at most `workers`
   // workloads are ever alive at once.
   if (!options.share_workloads) {
-    parallel_for(total, [&](size_t i) {
+    parallel_for(num_pending, [&](size_t k) {
+      const size_t i = pending[k];
       const Workload w = build_one(jobs[i]);
       if (options.on_workload_built) {
         std::lock_guard<std::mutex> lock(mu);
         options.on_workload_built(jobs[i].app);
       }
       records[i] = run_one(jobs[i], w);
-      report(i);
+      finish(i);
     });
     if (first_error) std::rethrow_exception(first_error);
     return SweepResults(std::move(records));
@@ -211,23 +265,24 @@ SweepResults run_sweep(std::vector<SweepJob> jobs,
   // Phase 1 — hash-cons workloads: one build slot per unique workload key
   // (jobs with a factory get private slots), built in parallel before any
   // simulation so every job starts from a finished, immutable workload.
+  // Only pending jobs participate — store hits need no workload at all.
   // slot_job points at the first job of each slot.
-  std::vector<size_t> slot_of(total);
+  std::vector<size_t> slot_of(num_pending);
   std::vector<const SweepJob*> slot_job;
   {
-    std::unordered_map<std::string, size_t> by_key;
-    by_key.reserve(total);
-    for (size_t i = 0; i < total; ++i) {
-      const SweepJob& job = jobs[i];
+    std::unordered_map<WorkloadKey, size_t, WorkloadKeyHash> by_key;
+    by_key.reserve(num_pending);
+    for (size_t k = 0; k < num_pending; ++k) {
+      const SweepJob& job = jobs[pending[k]];
       if (job.factory) {
-        slot_of[i] = slot_job.size();
+        slot_of[k] = slot_job.size();
         slot_job.push_back(&job);
         continue;
       }
       const auto [it, inserted] =
           by_key.emplace(workload_key(job), slot_job.size());
       if (inserted) slot_job.push_back(&job);
-      slot_of[i] = it->second;
+      slot_of[k] = it->second;
     }
   }
   const size_t num_slots = slot_job.size();
@@ -238,7 +293,7 @@ SweepResults run_sweep(std::vector<SweepJob> jobs,
   std::unique_ptr<std::atomic<size_t>[]> slot_jobs_left(
       new std::atomic<size_t>[num_slots]);
   for (size_t s = 0; s < num_slots; ++s) slot_jobs_left[s] = 0;
-  for (size_t i = 0; i < total; ++i) ++slot_jobs_left[slot_of[i]];
+  for (size_t k = 0; k < num_pending; ++k) ++slot_jobs_left[slot_of[k]];
 
   parallel_for(num_slots, [&](size_t i) {
     built[i] = std::make_shared<const Workload>(build_one(*slot_job[i]));
@@ -251,11 +306,12 @@ SweepResults run_sweep(std::vector<SweepJob> jobs,
 
   // Phase 2 — simulate. run_one never mutates the shared workload (the
   // engine takes const TaskDag&), so jobs of one slot are independent.
-  parallel_for(total, [&](size_t i) {
-    const size_t slot = slot_of[i];
+  parallel_for(num_pending, [&](size_t k) {
+    const size_t i = pending[k];
+    const size_t slot = slot_of[k];
     records[i] = run_one(jobs[i], *built[slot]);
     if (slot_jobs_left[slot].fetch_sub(1) == 1) built[slot].reset();
-    report(i);
+    finish(i);
   });
   if (first_error) std::rethrow_exception(first_error);
   return SweepResults(std::move(records));
@@ -265,39 +321,25 @@ SweepResults run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   return run_sweep(expand(spec), options);
 }
 
-namespace {
-std::string find_key(const std::string& app, const std::string& sched,
-                     int cores, const std::string& tag) {
-  std::string key;
-  key.reserve(app.size() + sched.size() + tag.size() + 16);
-  key += app;
-  key += '\x1f';
-  key += sched;
-  key += '\x1f';
-  key += std::to_string(cores);
-  key += '\x1f';
-  key += tag;
-  return key;
-}
-}  // namespace
-
 SweepResults::SweepResults(std::vector<SweepRecord> records)
     : records_(std::move(records)) {
   find_index_.reserve(records_.size());
   for (size_t i = 0; i < records_.size(); ++i) {
-    const SweepRecord& r = records_[i];
     // emplace keeps the first occurrence, matching the original
     // first-match linear-scan semantics.
-    find_index_.emplace(
-        find_key(r.job.app, r.job.sched, r.job.config.cores, r.job.tag), i);
+    find_index_.emplace(records_[i].job.key(), i);
   }
+}
+
+const SweepRecord* SweepResults::find(const JobKey& key) const {
+  const auto it = find_index_.find(key);
+  return it == find_index_.end() ? nullptr : &records_[it->second];
 }
 
 const SweepRecord* SweepResults::find(const std::string& app,
                                       const std::string& sched, int cores,
                                       const std::string& tag) const {
-  const auto it = find_index_.find(find_key(app, sched, cores, tag));
-  return it == find_index_.end() ? nullptr : &records_[it->second];
+  return find(JobKey{app, sched, cores, tag});
 }
 
 Table SweepResults::to_table() const {

@@ -63,6 +63,8 @@
 
 namespace cachesched {
 
+class ResultStore;  // exp/store.h
+
 /// Pseudo-scheduler name for the sequential baseline: the workload on one
 /// core of the same configuration under PDF (= 1DF order), the
 /// denominator of the paper's speedup plots.
@@ -71,6 +73,29 @@ inline constexpr const char* kSequentialSched = "seq";
 /// Builds the workload a job simulates; defaults to make_workload(app, ...).
 using WorkloadFactory =
     std::function<Workload(const CmpConfig&, const AppOptions&)>;
+
+/// First-class identity of a sweep point: the (app, sched, cores, tag)
+/// tuple that distinguishes records of one sweep. This is the typed form
+/// of what used to be ad-hoc string concatenation — SweepResults::find
+/// indexes by it, and the result store embeds it in its job key. The
+/// string form (str()) is a thin serialization of the struct, not the
+/// other way around.
+struct JobKey {
+  std::string app;
+  std::string sched;
+  int cores = 0;
+  std::string tag;
+
+  bool operator==(const JobKey&) const = default;
+
+  /// Canonical serialization: fields joined with '\x1f' (unit
+  /// separator), stable across processes.
+  std::string str() const;
+};
+
+struct JobKeyHash {
+  size_t operator()(const JobKey& k) const;
+};
 
 /// One simulation: a workload on a configuration under a scheduler.
 struct SweepJob {
@@ -84,6 +109,9 @@ struct SweepJob {
   AppOptions opt;
   std::optional<uint64_t> quantum_cycles;  // simulator run-ahead override
   WorkloadFactory factory;  // empty = make_app(app, config, opt)
+
+  /// The job's sweep-point identity (app, sched, cores, tag).
+  JobKey key() const { return {app, sched, config.cores, tag}; }
 };
 
 /// Declarative cross-product sweep.
@@ -104,12 +132,9 @@ struct SweepSpec {
   uint64_t mergesort_task_ws = 0;
   uint64_t seed = 42;
 
-  // Configuration overrides applied after scaling.
-  std::optional<int> l2_hit_cycles;
-  std::optional<int> mem_latency_cycles;
-  std::optional<int> l2_banks;
-  std::optional<uint32_t> task_dispatch_cycles;
-  std::optional<uint64_t> quantum_cycles;
+  /// Timing overrides applied after scaling (quantum_cycles is forwarded
+  /// to each job's simulator); see simarch/config.h.
+  ConfigOverrides overrides;
 
   /// Optional per-(app, config) exclusion, e.g. the paper's "LU only up
   /// to 16 cores" rule. Return true to drop the combination.
@@ -125,9 +150,24 @@ std::vector<SweepJob> expand(const SweepSpec& spec);
 /// string, every AppOptions field, and the capacity/geometry
 /// configuration fields of the WorkloadBuilder contract. Two jobs with
 /// equal keys simulate the same workload. Exposed so tooling (e.g. the
-/// perf suite's build-vs-sim split) groups jobs exactly as the cache
-/// does; `factory` jobs are not covered (they are never shared).
-std::string workload_key(const SweepJob& job);
+/// perf suite's build-vs-sim split, the result store) groups jobs
+/// exactly as the cache does; `factory` jobs are not covered (they are
+/// never shared). The wrapped string (str()) is the key's canonical
+/// serialization — hash/compare the typed form, persist the string.
+struct WorkloadKey {
+  std::string repr;
+
+  bool operator==(const WorkloadKey&) const = default;
+  const std::string& str() const { return repr; }
+};
+
+struct WorkloadKeyHash {
+  size_t operator()(const WorkloadKey& k) const {
+    return std::hash<std::string>{}(k.repr);
+  }
+};
+
+WorkloadKey workload_key(const SweepJob& job);
 
 /// A finished job. `result.scheduler` is the engine's name for the run
 /// ("pdf" for seq jobs); `job.sched` is the sweep identity.
@@ -147,8 +187,16 @@ struct SweepOptions {
   /// job rebuilds its own workload (the pre-cache behavior; results are
   /// byte-identical either way).
   bool share_workloads = true;
+  /// Content-addressed result store (exp/store.h); non-null makes the
+  /// sweep incremental: jobs whose full identity has a stored record
+  /// load it instead of simulating, and every simulated record is
+  /// persisted on completion. Results are byte-identical with or without
+  /// a store; the store's stats() report the hit/miss split. Jobs with a
+  /// `factory` have no serializable identity and always simulate.
+  ResultStore* store = nullptr;
   /// Called after each job finishes (serialized; `completed` counts
-  /// finished jobs, not the record's index).
+  /// finished jobs, not the record's index). Store hits are reported
+  /// first, in job order, before any simulation starts.
   std::function<void(const SweepRecord&, size_t completed, size_t total)>
       on_result;
   /// Test/diagnostics hook: called once per unique workload actually
@@ -166,9 +214,12 @@ class SweepResults {
   size_t size() const { return records_.size(); }
   const SweepRecord& operator[](size_t i) const { return records_[i]; }
 
-  /// First record matching (app, sched, cores[, tag]); nullptr if none.
-  /// O(1): looks up a hash index built at construction, so concurrent
-  /// find() calls on a const SweepResults are safe.
+  /// First record whose job matches `key`; nullptr if none. O(1): looks
+  /// up a hash index built at construction, so concurrent find() calls
+  /// on a const SweepResults are safe.
+  const SweepRecord* find(const JobKey& key) const;
+
+  /// Convenience overload building the JobKey from its fields.
   const SweepRecord* find(const std::string& app, const std::string& sched,
                           int cores, const std::string& tag = "") const;
 
@@ -185,10 +236,10 @@ class SweepResults {
 
  private:
   std::vector<SweepRecord> records_;
-  /// (app, sched, cores, tag) -> index of the first matching record;
-  /// built at construction (benches look up every sweep point, which was
-  /// quadratic with a linear scan per lookup).
-  std::unordered_map<std::string, size_t> find_index_;
+  /// JobKey -> index of the first matching record; built at construction
+  /// (benches look up every sweep point, which was quadratic with a
+  /// linear scan per lookup).
+  std::unordered_map<JobKey, size_t, JobKeyHash> find_index_;
 };
 
 /// Runs `jobs` on a worker pool; records are in job order regardless of

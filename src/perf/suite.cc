@@ -1,12 +1,15 @@
 #include "perf/suite.h"
 
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "core/trace.h"
+#include "exp/store.h"
 #include "exp/sweep.h"
 #include "harness/apps.h"
 #include "harness/workload_registry.h"
@@ -108,7 +111,7 @@ std::pair<Benchmark, Benchmark> bench_build_vs_sim(double scale, int warmup,
   // this split stays honest if the bench spec grows new dimensions.
   std::vector<const SweepJob*> unique;
   std::vector<size_t> uidx(jobs.size());
-  std::unordered_map<std::string, size_t> groups;
+  std::unordered_map<WorkloadKey, size_t, WorkloadKeyHash> groups;
   for (size_t i = 0; i < jobs.size(); ++i) {
     const auto [it, inserted] =
         groups.emplace(workload_key(jobs[i]), unique.size());
@@ -150,6 +153,59 @@ std::pair<Benchmark, Benchmark> bench_build_vs_sim(double scale, int warmup,
   simb.stats = sim_stats;
   simb.value = static_cast<double>(jobs.size()) / sim_stats.min;
   return {build, simb};
+}
+
+/// Result-store rows: a cold sweep (empty store: simulate + persist
+/// everything) vs a warm one (every job a store hit: the incremental
+/// re-sweep cost), plus their ratio — how much a fully-cached re-run of
+/// the same matrix saves. Serial workers so the rows are comparable to
+/// sweep/jobs_1.
+std::vector<Benchmark> bench_store(double scale, int warmup, int reps) {
+  namespace fs = std::filesystem;
+  const std::vector<SweepJob> jobs = expand(sweep_bench_spec(scale));
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("cachesched-perf-store-" +
+       std::to_string(reinterpret_cast<uintptr_t>(&jobs)));
+  fs::remove_all(dir);
+
+  auto run_with_store = [&] {
+    ResultStore store(dir.string());
+    SweepOptions opt;
+    opt.workers = 1;
+    opt.store = &store;
+    run_sweep(jobs, opt);
+  };
+  // Cold: every repetition starts from an empty store.
+  const Stats cold_stats = measure(warmup, reps, [&] {
+    fs::remove_all(dir);
+    run_with_store();
+  });
+  // Warm: the last cold repetition left the store fully populated.
+  const Stats warm_stats = measure(warmup, reps, run_with_store);
+  fs::remove_all(dir);
+
+  Benchmark cold;
+  cold.name = "sweep/store_cold";
+  cold.metric = "jobs_per_sec";
+  cold.work_items = jobs.size();
+  cold.stats = cold_stats;
+  cold.value = static_cast<double>(jobs.size()) / cold_stats.min;
+
+  Benchmark warm;
+  warm.name = "sweep/store_warm";
+  warm.metric = "jobs_per_sec";
+  warm.work_items = jobs.size();
+  warm.stats = warm_stats;
+  warm.value = static_cast<double>(jobs.size()) / warm_stats.min;
+
+  Benchmark ratio;
+  ratio.name = "sweep/store_warm_x";
+  ratio.metric = "speedup";
+  ratio.work_items = jobs.size();
+  ratio.stats = warm_stats;
+  ratio.value = cold.value > 0 ? warm.value / cold.value : 0;
+  return {cold, warm, ratio};
 }
 
 }  // namespace
@@ -200,6 +256,10 @@ Report run_suite(const SuiteOptions& options) {
   auto [build, sim] = bench_build_vs_sim(sweep_scale, warmup, reps);
   add(std::move(build));
   add(std::move(sim));
+
+  for (Benchmark& b : bench_store(sweep_scale, warmup, reps)) {
+    add(std::move(b));
+  }
 
   const Benchmark serial =
       bench_sweep(1, sweep_scale, warmup, reps, "sweep/jobs_1");

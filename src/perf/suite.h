@@ -16,7 +16,12 @@
 //                            workloads; the part the sweep cache pays once
 //                            per workload instead of once per job) and
 //                            pure simulation (jobs_per_sec, pre-built
-//                            workloads).
+//                            workloads);
+//   sweep/store_cold/warm  — the same matrix through the content-
+//                            addressed result store (exp/store.h): cold =
+//                            empty store (simulate + persist), warm =
+//                            every job a store hit (the incremental
+//                            re-sweep cost), store_warm_x their ratio.
 //
 // The suite emits the stable JSON schema of perf.h (BENCH_sim.json);
 // tools/perf_compare diffs two such files.

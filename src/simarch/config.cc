@@ -29,6 +29,52 @@ uint64_t floor_pow2(uint64_t v) {
 
 }  // namespace
 
+bool ConfigOverrides::any() const {
+  return l2_hit_cycles || mem_latency_cycles || l2_banks ||
+         task_dispatch_cycles || quantum_cycles;
+}
+
+void ConfigOverrides::apply(CmpConfig& cfg) const {
+  if (l2_hit_cycles) cfg.l2_hit_cycles = *l2_hit_cycles;
+  if (mem_latency_cycles) cfg.mem_latency_cycles = *mem_latency_cycles;
+  if (l2_banks) cfg.l2_banks = *l2_banks;
+  if (task_dispatch_cycles) cfg.task_dispatch_cycles = *task_dispatch_cycles;
+  // quantum_cycles is a simulator knob, not a config field.
+}
+
+std::string ConfigOverrides::serialize() const {
+  std::ostringstream os;
+  auto field = [&os](const char* name, const auto& opt) {
+    os << name << '=';
+    if (opt) {
+      os << static_cast<uint64_t>(*opt);
+    } else {
+      os << '-';
+    }
+  };
+  field("l2_hit", l2_hit_cycles);
+  os << ',';
+  field("mem_latency", mem_latency_cycles);
+  os << ',';
+  field("banks", l2_banks);
+  os << ',';
+  field("dispatch", task_dispatch_cycles);
+  os << ',';
+  field("quantum", quantum_cycles);
+  return os.str();
+}
+
+ConfigOverrides ConfigOverrides::capture(const CmpConfig& cfg,
+                                         std::optional<uint64_t> quantum) {
+  ConfigOverrides o;
+  o.l2_hit_cycles = cfg.l2_hit_cycles;
+  o.mem_latency_cycles = cfg.mem_latency_cycles;
+  o.l2_banks = cfg.l2_banks;
+  o.task_dispatch_cycles = cfg.task_dispatch_cycles;
+  o.quantum_cycles = quantum;
+  return o;
+}
+
 CmpConfig CmpConfig::scaled(double f) const {
   if (f <= 0 || f > 1.0) throw std::invalid_argument("scale must be in (0,1]");
   CmpConfig c = *this;

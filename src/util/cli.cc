@@ -1,5 +1,6 @@
 #include "util/cli.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -98,11 +99,69 @@ std::vector<std::string> CliArgs::unused() const {
   return out;
 }
 
+std::vector<std::string> CliArgs::queried() const {
+  std::vector<std::string> out;
+  out.reserve(used_.size());
+  for (const auto& [k, v] : used_) {
+    (void)v;
+    out.push_back(k);
+  }
+  return out;
+}
+
+namespace {
+
+size_t levenshtein(const std::string& a, const std::string& b) {
+  // One-row DP; distances stay tiny (flag names), so no cutoffs needed.
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];  // D[i-1][j-1]
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t up = row[j];  // D[i-1][j]
+      const size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      row[j] = std::min({up + 1, row[j - 1] + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+std::string nearest_flag(const std::string& unknown,
+                         const std::vector<std::string>& candidates) {
+  const size_t max_dist = unknown.size() >= 6 ? 3 : 2;
+  std::string best;
+  size_t best_dist = max_dist + 1;
+  for (const std::string& c : candidates) {
+    if (c == unknown) continue;
+    const size_t d = levenshtein(unknown, c);
+    // Strict < keeps ties at the first (alphabetical) candidate, so the
+    // suggestion is deterministic.
+    if (d < best_dist && d < unknown.size()) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
 int CliArgs::check_unused() const {
   const std::vector<std::string> bad = unused();
+  const std::vector<std::string> known = queried();
   for (const auto& k : bad) {
-    std::fprintf(stderr, "%s: unknown argument --%s\n",
-                 program_.empty() ? "cachesched" : program_.c_str(), k.c_str());
+    const std::string suggestion = nearest_flag(k, known);
+    if (suggestion.empty()) {
+      std::fprintf(stderr, "%s: unknown argument --%s\n",
+                   program_.empty() ? "cachesched" : program_.c_str(),
+                   k.c_str());
+    } else {
+      std::fprintf(stderr, "%s: unknown argument --%s (did you mean --%s?)\n",
+                   program_.empty() ? "cachesched" : program_.c_str(),
+                   k.c_str(), suggestion.c_str());
+    }
   }
   return bad.empty() ? 0 : 2;
 }

@@ -37,9 +37,16 @@ class CliArgs {
   /// to warn about typos.
   std::vector<std::string> unused() const;
 
+  /// Every key the program has queried so far (via has/get*), whether or
+  /// not it was provided — the program's flag vocabulary, used to
+  /// suggest the nearest valid flag for a typo.
+  std::vector<std::string> queried() const;
+
   /// Returns 0 if every provided key was queried; otherwise reports each
-  /// unknown flag on stderr and returns 2. Use as the final `return` of
-  /// main() so typo'd experiment scripts fail loudly in CI.
+  /// unknown flag on stderr — with a "did you mean --X?" suggestion when
+  /// a queried flag is within edit distance — and returns 2. Use as the
+  /// final `return` of main() so typo'd experiment scripts fail loudly
+  /// in CI.
   int check_unused() const;
 
   const std::string& program() const { return program_; }
@@ -49,5 +56,12 @@ class CliArgs {
   std::map<std::string, std::string> kv_;
   mutable std::map<std::string, bool> used_;
 };
+
+/// The candidate closest to `unknown` by Levenshtein distance, or "" if
+/// none is close enough to be a plausible typo (distance must be <= 2,
+/// or <= 3 for names of 6+ characters, and strictly less than the
+/// unknown name's length). Exposed for check_unused and tests.
+std::string nearest_flag(const std::string& unknown,
+                         const std::vector<std::string>& candidates);
 
 }  // namespace cachesched

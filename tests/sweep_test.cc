@@ -126,6 +126,26 @@ TEST(SweepRun, FindMatchesAppSchedCoresAndTag) {
   EXPECT_EQ(r->job.config.cores, 4);
   EXPECT_EQ(res.find("matmul", "ws", 16), nullptr);
   EXPECT_EQ(res.find("matmul", "ws", 4, "no-such-tag"), nullptr);
+
+  // Typed overload: the string form is a thin serialization of JobKey,
+  // so looking up a record's own key() finds that record.
+  const SweepRecord* typed = res.find(JobKey{"matmul", "ws", 4, ""});
+  EXPECT_EQ(typed, r);
+  EXPECT_EQ(res.find(r->job.key()), r);
+  EXPECT_EQ(res.find(JobKey{"matmul", "ws", 16, ""}), nullptr);
+}
+
+TEST(SweepRun, JobKeyEqualityHashAndSerialization) {
+  const JobKey a{"lu", "pdf", 8, ""};
+  const JobKey b{"lu", "pdf", 8, ""};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(JobKeyHash{}(a), JobKeyHash{}(b));
+  EXPECT_EQ(a.str(), b.str());
+  // Fields can't bleed into each other through the serialization.
+  const JobKey c{"lu", "pdf", 8, "x"};
+  const JobKey d{"lu", "pdfx", 8, ""};
+  EXPECT_NE(c, d);
+  EXPECT_NE(c.str(), d.str());
 }
 
 TEST(SweepRun, CustomFactoryAndQuantumOverride) {

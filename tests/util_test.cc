@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <numeric>
 #include <vector>
@@ -188,6 +189,41 @@ TEST(Cli, UnusedDetection) {
 
 TEST(Cli, RejectsPositional) {
   EXPECT_THROW(make_args({"prog", "oops"}), std::invalid_argument);
+}
+
+TEST(Cli, QueriedRecordsFlagVocabulary) {
+  auto args = make_args({"prog", "--a=1"});
+  args.get_int("a", 0);
+  args.get("beta", "");
+  args.has("gamma");
+  auto q = args.queried();
+  std::sort(q.begin(), q.end());
+  EXPECT_EQ(q, (std::vector<std::string>{"a", "beta", "gamma"}));
+}
+
+TEST(Cli, NearestFlagSuggestsCloseTypos) {
+  const std::vector<std::string> flags = {"scale",  "scales", "scheds",
+                                          "cores",  "store",  "resume",
+                                          "shard",  "csv",    "json"};
+  EXPECT_EQ(nearest_flag("shcale", flags), "scale");   // transposition
+  EXPECT_EQ(nearest_flag("scal", flags), "scale");     // deletion
+  EXPECT_EQ(nearest_flag("coers", flags), "cores");
+  EXPECT_EQ(nearest_flag("resumee", flags), "resume");
+  EXPECT_EQ(nearest_flag("stroe", flags), "store");
+}
+
+TEST(Cli, NearestFlagRejectsDistantNames) {
+  const std::vector<std::string> flags = {"scale", "cores", "json"};
+  EXPECT_EQ(nearest_flag("threads", flags), "");
+  EXPECT_EQ(nearest_flag("x", flags), "");  // distance >= length of typo
+  EXPECT_EQ(nearest_flag("", flags), "");
+  EXPECT_EQ(nearest_flag("scale", {}), "");
+}
+
+TEST(Cli, NearestFlagTiesAreDeterministic) {
+  // "ab" is distance 1 from both "aa" and "ac"; first candidate wins.
+  EXPECT_EQ(nearest_flag("ab", {"aa", "ac"}), "aa");
+  EXPECT_EQ(nearest_flag("ab", {"ac", "aa"}), "ac");
 }
 
 TEST(Table, RendersAlignedAndCsv) {

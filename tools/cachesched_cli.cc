@@ -15,7 +15,15 @@
 //                        [--tech=default|45nm] [--seq] [--jobs=N]
 //                        [--csv=path] [--json=path] [--progress]
 //                        [--l2-hit=N] [--mem-latency=N] [--banks=N]
-//                        [--dispatch=N]               # parallel job matrix
+//                        [--dispatch=N] [--quantum=N] # parallel job matrix
+//   cachesched_cli sweep ... --store=DIR [--resume]   # incremental: load
+//                        completed jobs from the content-addressed result
+//                        store, simulate + persist only the rest
+//   cachesched_cli sweep ... --store=DIR --shard=i/N  # simulate only
+//                        shard i of the matrix into the shared store
+//   cachesched_cli sweep merge ... --store=DIR [--csv --json]
+//                        # reassemble the full matrix from the store, in
+//                        job order — byte-identical to an unsharded run
 //   cachesched_cli perf  [--quick] [--reps=N] [--apps=a,b,...]
 //                        [--out=BENCH_sim.json]       # fixed perf suite;
 //                        diff two outputs with tools/perf_compare
@@ -27,15 +35,22 @@
 // generator spec like "dnc:depth=8,fanout=4,ws=64K,share=0.3" works too
 // (grammar: src/gen/genspec.h; `list` prints the families).
 //
+// The timing-override flags (--l2-hit, --mem-latency, --banks,
+// --dispatch, --quantum) are parsed once into a ConfigOverrides
+// (simarch/config.h) and accepted by run/trace/replay/sweep alike.
+//
 // Exit code 0 on success (2 on unknown flags/subcommands); errors to
 // stderr.
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/dag_io.h"
+#include "exp/store.h"
 #include "exp/sweep.h"
 #include "harness/apps.h"
 #include "harness/workload_registry.h"
@@ -47,6 +62,29 @@ using namespace cachesched;
 
 namespace {
 
+/// The one place CLI flags become config-timing overrides; shared by
+/// run/trace/replay (via config_from_args) and sweep (via SweepSpec).
+ConfigOverrides overrides_from_args(const CliArgs& args) {
+  ConfigOverrides o;
+  if (args.has("l2-hit")) {
+    o.l2_hit_cycles = static_cast<int>(args.get_int("l2-hit", 0));
+  }
+  if (args.has("mem-latency")) {
+    o.mem_latency_cycles = static_cast<int>(args.get_int("mem-latency", 0));
+  }
+  if (args.has("banks")) {
+    o.l2_banks = static_cast<int>(args.get_int("banks", 0));
+  }
+  if (args.has("dispatch")) {
+    o.task_dispatch_cycles =
+        static_cast<uint32_t>(args.get_int("dispatch", 0));
+  }
+  if (args.has("quantum")) {
+    o.quantum_cycles = static_cast<uint64_t>(args.get_int("quantum", 0));
+  }
+  return o;
+}
+
 CmpConfig config_from_args(const CliArgs& args) {
   const int cores = static_cast<int>(args.get_int("cores", 8));
   const std::string tech = args.get("tech", "default");
@@ -54,17 +92,7 @@ CmpConfig config_from_args(const CliArgs& args) {
                                  : default_config(cores);
   const double scale = args.get_double("scale", 0.125);
   cfg = cfg.scaled(scale);
-  if (args.has("l2-hit")) {
-    cfg.l2_hit_cycles =
-        static_cast<int>(args.get_int("l2-hit", cfg.l2_hit_cycles));
-  }
-  if (args.has("mem-latency")) {
-    cfg.mem_latency_cycles =
-        static_cast<int>(args.get_int("mem-latency", cfg.mem_latency_cycles));
-  }
-  if (args.has("banks")) {
-    cfg.l2_banks = static_cast<int>(args.get_int("banks", 0));
-  }
+  overrides_from_args(args).apply(cfg);
   return cfg;
 }
 
@@ -79,11 +107,13 @@ std::vector<std::string> sched_list(const CliArgs& args) {
 }
 
 void report(const TaskDag& dag, const CmpConfig& cfg,
-            const std::vector<std::string>& scheds) {
+            const std::vector<std::string>& scheds,
+            std::optional<uint64_t> quantum = {}) {
   Table t({"sched", "cycles", "L2miss/1Kinstr", "l1_hits", "l2_hits",
            "l2_misses", "bw_util%", "core_util%", "steals"});
   for (const auto& sched : scheds) {
     CmpSimulator sim(cfg);
+    if (quantum) sim.set_quantum_cycles(*quantum);
     auto s = make_scheduler(sched);
     const SimResult r = sim.run(dag, *s);
     t.add_row({r.scheduler, Table::num(r.cycles),
@@ -107,7 +137,8 @@ int cmd_run(const CliArgs& args) {
   const Workload w = make_workload(args.get("app", "mergesort"), cfg, opt);
   std::cout << w.name << ": " << w.params << " (" << w.dag.num_tasks()
             << " tasks, " << w.dag.total_refs() << " refs)\n";
-  report(w.dag, cfg, sched_list(args));
+  report(w.dag, cfg, sched_list(args),
+         overrides_from_args(args).quantum_cycles);
   return 0;
 }
 
@@ -136,11 +167,15 @@ int cmd_replay(const CliArgs& args) {
   const TaskDag dag = load_dag(path);
   std::cout << "loaded " << dag.num_tasks() << " tasks / " << dag.total_refs()
             << " refs from " << path << "\n";
-  report(dag, config_from_args(args), sched_list(args));
+  report(dag, config_from_args(args), sched_list(args),
+         overrides_from_args(args).quantum_cycles);
   return 0;
 }
 
-int cmd_sweep(const CliArgs& args) {
+/// The sweep job-matrix flags, shared verbatim by `sweep` and
+/// `sweep merge` so a merge reassembles exactly the matrix the sharded
+/// runs simulated.
+SweepSpec spec_from_args(const CliArgs& args) {
   SweepSpec spec;
   // split_workload_list keeps generator specs with embedded commas whole.
   spec.apps = split_workload_list(args.get("apps", "mergesort,hashjoin,lu"));
@@ -158,19 +193,12 @@ int cmd_sweep(const CliArgs& args) {
   spec.sequential_baseline = args.get_bool("seq", false);
   spec.fine_grained = args.get_bool("fine-grained", true);
   spec.mergesort_task_ws = static_cast<uint64_t>(args.get_int("task-ws", 0));
-  if (args.has("l2-hit")) {
-    spec.l2_hit_cycles = static_cast<int>(args.get_int("l2-hit", 0));
-  }
-  if (args.has("mem-latency")) {
-    spec.mem_latency_cycles = static_cast<int>(args.get_int("mem-latency", 0));
-  }
-  if (args.has("banks")) {
-    spec.l2_banks = static_cast<int>(args.get_int("banks", 0));
-  }
-  if (args.has("dispatch")) {
-    spec.task_dispatch_cycles =
-        static_cast<uint32_t>(args.get_int("dispatch", 0));
-  }
+  spec.overrides = overrides_from_args(args);
+  return spec;
+}
+
+int cmd_sweep(const CliArgs& args) {
+  SweepSpec spec = spec_from_args(args);
 
   SweepOptions opt;
   opt.workers = static_cast<int>(args.get_int("jobs", 0));
@@ -182,18 +210,104 @@ int cmd_sweep(const CliArgs& args) {
   }
   const std::string csv = args.get("csv", "");
   const std::string json = args.get("json", "");
+  const std::string store_dir = args.get("store", "");
+  const bool resume = args.get_bool("resume", false);
+  const std::string shard = args.get("shard", "");
   // Every flag has been queried; fail on typos *before* the long run.
   if (const int rc = args.check_unused()) return rc;
 
-  const std::vector<SweepJob> jobs = expand(spec);
+  if (resume && store_dir.empty()) {
+    std::cerr << "sweep: --resume requires --store=DIR (the store holds the "
+                 "records to resume from)\n";
+    return 2;
+  }
+  if (resume && !std::filesystem::is_directory(store_dir)) {
+    std::cerr << "sweep: nothing to resume: " << store_dir
+              << " does not exist\n";
+    return 2;
+  }
+  if (!shard.empty() && store_dir.empty()) {
+    std::cerr << "sweep: --shard requires --store=DIR (shard results are "
+                 "reassembled from the store by `sweep merge`)\n";
+    return 2;
+  }
+  if (!shard.empty() && (!csv.empty() || !json.empty())) {
+    std::cerr << "sweep: --shard runs emit no CSV/JSON; run `sweep merge` "
+                 "with the full matrix flags to assemble output\n";
+    return 2;
+  }
+
+  std::vector<SweepJob> jobs = expand(spec);
   if (jobs.empty()) {
     std::cerr << "sweep: empty job matrix (check --apps/--scheds/--cores)\n";
     return 2;
   }
-  std::cerr << "sweep: " << jobs.size() << " jobs ("
-            << (opt.workers > 0 ? std::to_string(opt.workers) : "auto")
+  const size_t full_matrix = jobs.size();
+  if (!shard.empty()) {
+    const auto [i, n] = parse_shard(shard);
+    jobs = shard_jobs(jobs, i, n);
+  }
+
+  std::optional<ResultStore> store;
+  if (!store_dir.empty()) {
+    store.emplace(store_dir);
+    opt.store = &*store;
+  }
+
+  std::cerr << "sweep: " << jobs.size() << " jobs"
+            << (shard.empty() ? ""
+                              : " (shard " + shard + " of " +
+                                    std::to_string(full_matrix) + ")")
+            << " (" << (opt.workers > 0 ? std::to_string(opt.workers) : "auto")
             << " workers)\n";
   const SweepResults res = run_sweep(jobs, opt);
+  if (store) {
+    const ResultStore::Stats s = store->stats();
+    std::cerr << "sweep: store " << store_dir << ": " << s.hits
+              << " store hits, " << (jobs.size() - s.hits) << " simulated";
+    if (s.corrupt) std::cerr << " (" << s.corrupt << " rejected entries)";
+    std::cerr << "\n";
+  }
+  if (!shard.empty()) {
+    // Shard output lives in the store; `sweep merge` assembles it.
+    return 0;
+  }
+  res.to_table().emit(csv);
+  if (!json.empty()) {
+    res.write_json(json);
+    std::cout << "[json written to " << json << "]\n";
+  }
+  return 0;
+}
+
+/// `sweep merge`: reassembles a sweep entirely from the result store —
+/// the merge step after `--shard=i/N` runs, byte-identical (CSV/JSON) to
+/// a single-process run of the same matrix.
+int cmd_sweep_merge(const CliArgs& args) {
+  const SweepSpec spec = spec_from_args(args);
+  const std::string csv = args.get("csv", "");
+  const std::string json = args.get("json", "");
+  const std::string store_dir = args.get("store", "");
+  // Execution-only sweep flags, accepted and ignored so the documented
+  // workflow — rerun the exact shard command line with `merge` in front —
+  // works verbatim (merge only loads records, it runs nothing).
+  args.get_int("jobs", 0);
+  args.get_bool("progress", false);
+  if (const int rc = args.check_unused()) return rc;
+  if (store_dir.empty()) {
+    std::cerr << "sweep merge: --store=DIR required\n";
+    return 2;
+  }
+  const std::vector<SweepJob> jobs = expand(spec);
+  if (jobs.empty()) {
+    std::cerr << "sweep merge: empty job matrix "
+                 "(check --apps/--scheds/--cores)\n";
+    return 2;
+  }
+  ResultStore store(store_dir);
+  const SweepResults res = load_all(store, jobs);  // throws if incomplete
+  std::cerr << "sweep merge: assembled " << res.size() << " records from "
+            << store_dir << "\n";
   res.to_table().emit(csv);
   if (!json.empty()) {
     res.write_json(json);
@@ -286,7 +400,8 @@ int cmd_configs() {
 
 int usage() {
   std::cerr << "usage: cachesched_cli "
-               "{run|trace|replay|configs|list|sweep|perf} [options]\n"
+               "{run|trace|replay|configs|list|sweep|sweep merge|perf} "
+               "[options]\n"
                "see the header of tools/cachesched_cli.cc for options\n";
   return 2;
 }
@@ -297,9 +412,14 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
-    CliArgs args(argc - 1, argv + 1);
+    // `sweep merge` is the one two-word subcommand; its flags start
+    // after the word "merge".
+    const bool merge =
+        cmd == "sweep" && argc > 2 && std::string(argv[2]) == "merge";
+    CliArgs args(merge ? argc - 2 : argc - 1, merge ? argv + 2 : argv + 1);
     int rc;
-    if (cmd == "run") rc = cmd_run(args);
+    if (merge) rc = cmd_sweep_merge(args);
+    else if (cmd == "run") rc = cmd_run(args);
     else if (cmd == "trace") rc = cmd_trace(args);
     else if (cmd == "replay") rc = cmd_replay(args);
     else if (cmd == "configs") rc = cmd_configs();
@@ -307,8 +427,9 @@ int main(int argc, char** argv) {
     else if (cmd == "sweep") rc = cmd_sweep(args);
     else if (cmd == "perf") rc = cmd_perf(args);
     else return usage();
-    const int unused_rc = args.check_unused();
-    return rc ? rc : unused_rc;
+    // Subcommands that already failed (including on their own
+    // check_unused) return as-is; re-checking would print twice.
+    return rc ? rc : args.check_unused();
   } catch (const std::exception& e) {
     std::cerr << "cachesched_cli: " << e.what() << "\n";
     return 1;
