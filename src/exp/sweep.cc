@@ -95,7 +95,7 @@ WorkloadKey workload_key(const SweepJob& job) {
 
 namespace {
 
-SweepRecord run_one(const SweepJob& job, const Workload& w) {
+SweepRecord run_one(const SweepJob& job, const Workload& w, int sim_threads) {
   CmpConfig cfg = job.config;
   std::string sched = job.sched;
   if (sched == kSequentialSched) {
@@ -105,6 +105,10 @@ SweepRecord run_one(const SweepJob& job, const Workload& w) {
   }
   CmpSimulator sim(cfg);
   if (job.quantum_cycles) sim.set_quantum_cycles(*job.quantum_cycles);
+  // 0 keeps the simulator default ($CACHESCHED_SIM_THREADS or serial);
+  // results are byte-identical either way, so this never enters job or
+  // store identity.
+  if (sim_threads > 0) sim.set_sim_threads(sim_threads);
   auto s = make_scheduler(sched);
   SweepRecord rec;
   rec.job = job;
@@ -255,7 +259,7 @@ SweepResults run_sweep(std::vector<SweepJob> jobs,
         std::lock_guard<std::mutex> lock(mu);
         options.on_workload_built(jobs[i].app);
       }
-      records[i] = run_one(jobs[i], w);
+      records[i] = run_one(jobs[i], w, options.sim_threads);
       finish(i);
     });
     if (first_error) std::rethrow_exception(first_error);
@@ -309,7 +313,7 @@ SweepResults run_sweep(std::vector<SweepJob> jobs,
   parallel_for(num_pending, [&](size_t k) {
     const size_t i = pending[k];
     const size_t slot = slot_of[k];
-    records[i] = run_one(jobs[i], *built[slot]);
+    records[i] = run_one(jobs[i], *built[slot], options.sim_threads);
     if (slot_jobs_left[slot].fetch_sub(1) == 1) built[slot].reset();
     finish(i);
   });

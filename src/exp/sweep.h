@@ -202,6 +202,14 @@ struct SweepOptions {
   /// Test/diagnostics hook: called once per unique workload actually
   /// built (serialized), with the spec/label of the job that built it.
   std::function<void(const std::string& app)> on_workload_built;
+  /// Host threads per simulation (CmpSimulator::set_sim_threads),
+  /// composing with `workers`: a sweep runs `workers` jobs concurrently,
+  /// each simulated by `sim_threads` threads (total ~ workers x
+  /// sim_threads). 0 = leave the simulator default ($CACHESCHED_SIM_THREADS
+  /// or serial). Results are byte-identical at every value, so this is an
+  /// execution knob like `workers` — deliberately NOT part of job identity,
+  /// workload keys, or store keys.
+  int sim_threads = 0;
 };
 
 class SweepResults {

@@ -8,6 +8,7 @@
 #include "sched/central_fifo_scheduler.h"
 #include "sched/pdf_scheduler.h"
 #include "sched/ws_scheduler.h"
+#include "simarch/engine_detail.h"
 
 namespace cachesched {
 
@@ -21,19 +22,15 @@ double SimResult::core_utilization() const {
 
 namespace {
 
-/// One expanded trace operation in a core's run buffer: 16 bytes. `meta`
-/// packs the per-reference instruction charge with the write flag; 0
-/// marks a compute op (mem ops always charge at least one instruction).
-struct BufOp {
-  uint64_t v;     // kMem: line number; compute: instruction count
-  uint32_t meta;  // kMem: instr_per_ref | (is_write ? kBufWrite : 0)
-};
-inline constexpr uint32_t kBufWrite = 1u << 31;
-
-/// Ops buffered per core between refills. Large enough to amortize the
-/// per-block setup of a refill over many references, small enough to stay
-/// in the host L1 (2 KB per core).
-inline constexpr int kBufOps = 128;
+// The run-buffer op format and the batched trace expansion live in
+// engine_detail.h, shared with the speculative parallel engine
+// (engine_parallel.cc), which pre-executes the same expansion on worker
+// threads and replays it during rollback.
+using engine_detail::BufOp;
+using engine_detail::evt_key;
+using engine_detail::kBufOps;
+using engine_detail::kBufWrite;
+using engine_detail::TraceExpander;
 
 struct CoreState {
   enum State : uint8_t { kIdle, kRunning, kPendingL2, kCompleting };
@@ -112,9 +109,6 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
   // chain of loads and cmovs; id bits never change the time order because
   // cycle counts stay far below 2^58. Kept in sync with cores[i].
   std::vector<uint64_t> evt(P, UINT64_MAX);
-  auto evt_key = [](uint64_t time, int c) {
-    return (time << 5) | static_cast<uint32_t>(c);
-  };
   std::vector<uint32_t> indeg(dag.num_tasks());
   for (TaskId t = 0; t < dag.num_tasks(); ++t) {
     indeg[t] = dag.task(t).num_parents;
@@ -157,164 +151,16 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
   // Expands the next batch of trace ops into core's run buffer, advancing
   // the expansion position; returns the number of ops buffered (0 = task
   // trace exhausted). Expansion never looks at the caches or the clock, so
-  // running ahead of the simulation is safe; per-block constants (stream
-  // interleave error terms, the kRandom reciprocal) are set up once per
-  // refill and amortized over the batch. kInterleave blocks expand
-  // through the per-DAG derived table (InterleaveFast) and the
-  // specialized 1/2/3-stream schedules of interleave_expand — the same
-  // emission sequence as the reference loop, pinned by
+  // running ahead of the simulation is safe — the batched expander itself
+  // (per-block constants amortized over the batch, InterleaveFast
+  // schedules, the same emission sequence as the reference loop) is shared
+  // with the parallel engine via engine_detail.h and pinned by
   // tests/golden_sim_test.cc and the equality test in tests/trace_test.cc.
-  const InterleaveSide* const inter = dag.interleave_data();
-  const InterleaveFast* const ifast = dag.interleave_fast();
-  auto refill = [line_shift, inter, ifast](CoreState& core) {
-    BufOp* const buf = core.buf;
-    int len = 0;
-    const PackedRef* const blocks = core.blocks;
-    const uint32_t nb = core.num_blocks;
-    uint32_t bi = core.bi;
-    uint32_t ri = core.ri;
-    while (len < kBufOps && bi < nb) {
-      const PackedRef& b = blocks[bi];
-      switch (b.kind()) {
-        case RefKind::kCompute:
-          ++bi;
-          ri = 0;
-          if (b.instr() != 0) buf[len++] = BufOp{b.instr(), 0};
-          break;
-        case RefKind::kStride: {
-          const uint64_t base = b.base();
-          const int64_t stride = b.stride();
-          const uint32_t mw =
-              b.instr_per_ref() | (b.is_write() ? kBufWrite : 0u);
-          uint32_t i = ri;
-          const uint32_t end =
-              std::min(b.count, i + static_cast<uint32_t>(kBufOps - len));
-          for (; i < end; ++i) {
-            const uint64_t addr =
-                base + static_cast<uint64_t>(static_cast<int64_t>(i) * stride);
-            buf[len++] = BufOp{addr >> line_shift, mw};
-          }
-          if (i == b.count) {
-            ++bi;
-            ri = 0;
-          } else {
-            ri = i;
-          }
-          break;
-        }
-        case RefKind::kRandom: {
-          const uint64_t base = b.base();
-          const uint64_t seed = b.seed();
-          const uint64_t region = b.region_len();
-          const uint32_t mw =
-              b.instr_per_ref() | (b.is_write() ? kBufWrite : 0u);
-          // h % region with the division strength-reduced to a multiply:
-          // with magic = floor(2^64/region), q = mulhi(h, magic) is either
-          // floor(h/region) or one less (h*magic/2^64 > h/region - 1 since
-          // h < 2^64), so one conditional subtract makes the remainder
-          // exact for every h.
-          const uint64_t magic =
-              region > 1 ? static_cast<uint64_t>(
-                               (static_cast<unsigned __int128>(1) << 64) /
-                               region)
-                         : 0;
-          uint32_t i = ri;
-          const uint32_t end =
-              std::min(b.count, i + static_cast<uint32_t>(kBufOps - len));
-          for (; i < end; ++i) {
-            uint64_t rem = 0;
-            if (region > 1) {
-              const uint64_t h = mix64(seed + i);
-              const uint64_t q = static_cast<uint64_t>(
-                  (static_cast<unsigned __int128>(h) * magic) >> 64);
-              rem = h - q * region;
-              if (rem >= region) rem -= region;
-            }
-            buf[len++] = BufOp{(base + rem) >> line_shift, mw};
-          }
-          if (i == b.count) {
-            ++bi;
-            ri = 0;
-          } else {
-            ri = i;
-          }
-          break;
-        }
-        case RefKind::kInterleave: {
-          const uint32_t n = b.count;
-          const uint32_t ipr = b.instr_per_ref();
-          const InterleaveFast& f = ifast[b.side_index()];
-          uint32_t i = ri;
-          const uint32_t end =
-              std::min(n, i + static_cast<uint32_t>(kBufOps - len));
-          if (f.kind != InterleaveFast::kGeneric) {
-            const uint32_t mw[kMaxStreams] = {
-                ipr | (f.write[0] ? kBufWrite : 0u),
-                ipr | (f.write[1] ? kBufWrite : 0u),
-                ipr | (f.write[2] ? kBufWrite : 0u)};
-            if (i < end) {
-              interleave_expand(f, n, i, end, core.em,
-                                [&](uint64_t addr, int s) {
-                                  buf[len++] = BufOp{addr >> line_shift, mw[s]};
-                                });
-              i = end;
-            }
-          } else {
-            // Reference expansion for blocks whose error terms would not
-            // fit int64 (>= 2^31 refs): the uint64 Bresenham products
-            // prog_s = (i+1)*lines_s vs goal_s = (em_s+1)*n; "behind
-            // target" is prog_s >= goal_s, prog gains lines_s per step
-            // and goal gains n per emission (exact: uint32 factors).
-            const InterleaveSide& sd = inter[b.side_index()];
-            const int ns = static_cast<int>(sd.num_streams);
-            const uint32_t lb = sd.line_bytes;
-            uint64_t prog[kMaxStreams];
-            uint64_t goal[kMaxStreams];
-            uint64_t addr_next[kMaxStreams];
-            for (int s = 0; s < ns; ++s) {
-              prog[s] = (static_cast<uint64_t>(i) + 1) * sd.streams[s].lines;
-              goal[s] = (static_cast<uint64_t>(core.em[s]) + 1) * n;
-              addr_next[s] =
-                  sd.streams[s].base + static_cast<uint64_t>(core.em[s]) * lb;
-            }
-            for (; i < end; ++i) {
-              int pick = -1;
-              for (int s = 0; s < ns; ++s) {
-                if (prog[s] >= goal[s]) {
-                  pick = s;
-                  break;
-                }
-              }
-              if (pick < 0) {  // floor rounding gap: any unfinished stream
-                for (int s = 0; s < ns; ++s) {
-                  if (core.em[s] < sd.streams[s].lines) {
-                    pick = s;
-                    break;
-                  }
-                }
-              }
-              buf[len++] =
-                  BufOp{addr_next[pick] >> line_shift,
-                        ipr | (sd.streams[pick].is_write ? kBufWrite : 0u)};
-              ++core.em[pick];
-              goal[pick] += n;
-              addr_next[pick] += lb;
-              for (int s = 0; s < ns; ++s) prog[s] += sd.streams[s].lines;
-            }
-          }
-          if (i == n) {
-            ++bi;
-            ri = 0;
-            core.em[0] = core.em[1] = core.em[2] = 0;
-          } else {
-            ri = i;
-          }
-          break;
-        }
-      }
-    }
-    core.bi = bi;
-    core.ri = ri;
+  const TraceExpander expander{dag.interleave_data(), dag.interleave_fast(),
+                               line_shift};
+  auto refill = [&expander](CoreState& core) {
+    const int len = expander.expand(core.blocks, core.num_blocks, core.bi,
+                                    core.ri, core.em, core.buf, kBufOps);
     core.head = 0;
     core.len = len;
     return len;
@@ -583,9 +429,24 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
   return res;
 }
 
+// Default thread count for simulations that never call set_sim_threads:
+// $CACHESCHED_SIM_THREADS, parsed once. This is how pre-existing binaries
+// (tests, CLI) are run against the parallel engine wholesale — the CI TSan
+// job sets it to race-test every simulation a test suite performs.
+int default_sim_threads() {
+  static const int v = [] {
+    const char* e = std::getenv("CACHESCHED_SIM_THREADS");
+    if (e == nullptr || *e == '\0') return 1;
+    const long n = std::strtol(e, nullptr, 10);
+    return n >= 1 && n <= 1024 ? static_cast<int>(n) : 1;
+  }();
+  return v;
+}
+
 }  // namespace
 
-CmpSimulator::CmpSimulator(const CmpConfig& config) : cfg_(config) {
+CmpSimulator::CmpSimulator(const CmpConfig& config)
+    : cfg_(config), sim_threads_(default_sim_threads()) {
   if (cfg_.cores < 1 || cfg_.cores > 32) {
     throw std::invalid_argument("1..32 cores supported");
   }
@@ -594,7 +455,18 @@ CmpSimulator::CmpSimulator(const CmpConfig& config) : cfg_(config) {
   }
 }
 
+void CmpSimulator::set_sim_threads(int n) {
+  if (n < 1) throw std::invalid_argument("sim_threads must be >= 1");
+  sim_threads_ = n;
+}
+
 SimResult CmpSimulator::run(const TaskDag& dag, Scheduler& sched) {
+  par_stats_ = ParallelSimStats{};
+  if (sim_threads_ > 1) {
+    return engine_impl::simulate_parallel(cfg_, quantum_, collect_task_stats_,
+                                          dag, sched, sim_threads_,
+                                          conflict_stress_, &par_stats_);
+  }
   if (auto* s = dynamic_cast<PdfScheduler*>(&sched)) {
     return simulate(cfg_, quantum_, collect_task_stats_, dag, *s);
   }

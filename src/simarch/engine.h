@@ -94,12 +94,25 @@ struct SimResult {
   }
 };
 
+/// Diagnostics of the speculative parallel engine (sim_threads > 1); all
+/// zero after a serial run. Deliberately NOT part of SimResult: conflict
+/// and rollback counts depend on host thread timing, while every field of
+/// SimResult is byte-identical across thread counts.
+struct ParallelSimStats {
+  uint64_t delivered_invalidations = 0;  // cross-core invals applied to live L1s
+  uint64_t conflicts = 0;    // deliveries that overlapped speculated state
+  uint64_t rollbacks = 0;    // one per conflict
+  uint64_t replayed_ops = 0; // ops regenerated from snapshots during rollbacks
+  uint64_t snapshots = 0;    // snapshots taken (dispatches + refreshes)
+};
+
 class CmpSimulator {
  public:
   explicit CmpSimulator(const CmpConfig& config);
 
   /// Executes `dag` to completion under `sched` and returns the statistics.
-  /// Deterministic: identical inputs give identical results.
+  /// Deterministic: identical inputs give identical results, at every
+  /// sim_threads value.
   SimResult run(const TaskDag& dag, Scheduler& sched);
 
   /// Extra run-ahead window; see file comment. 0 = exact interleaving.
@@ -108,12 +121,45 @@ class CmpSimulator {
   /// Record per-task miss/reference counts in the result.
   void set_collect_task_stats(bool v) { collect_task_stats_ = v; }
 
+  /// Host threads used to execute one simulation. 1 = the serial engine;
+  /// N > 1 = the speculative parallel engine (engine_parallel.cc): N - 1
+  /// speculation workers pre-execute the simulated cores' private
+  /// L1/trace work while the calling thread commits every shared-L2 and
+  /// memory-channel interaction in exact serial order, so results are
+  /// byte-identical to the serial engine. Defaults to
+  /// $CACHESCHED_SIM_THREADS when set (so existing binaries can be run
+  /// threaded, e.g. under TSan), else 1.
+  void set_sim_threads(int n);
+  int sim_threads() const { return sim_threads_; }
+
+  /// Test knob: make the parallel engine wait for the target core's
+  /// speculation to quiesce before delivering each cross-core
+  /// invalidation, so that an invalidation overlapping speculated work
+  /// reliably exercises the conflict/rollback path. Timing-only — results
+  /// are unchanged.
+  void set_parallel_conflict_stress(bool v) { conflict_stress_ = v; }
+
+  /// Speculation diagnostics of the most recent run().
+  const ParallelSimStats& parallel_stats() const { return par_stats_; }
+
   const CmpConfig& config() const { return cfg_; }
 
  private:
   CmpConfig cfg_;
   uint64_t quantum_ = 1000;
   bool collect_task_stats_ = false;
+  int sim_threads_ = 1;  // constructor applies $CACHESCHED_SIM_THREADS
+  bool conflict_stress_ = false;
+  ParallelSimStats par_stats_;
 };
+
+namespace engine_impl {
+/// The speculative parallel engine (engine_parallel.cc). `stats` must be
+/// zeroed by the caller; `threads` >= 2.
+SimResult simulate_parallel(const CmpConfig& cfg, uint64_t quantum,
+                            bool collect_task_stats, const TaskDag& dag,
+                            Scheduler& sched, int threads,
+                            bool conflict_stress, ParallelSimStats* stats);
+}  // namespace engine_impl
 
 }  // namespace cachesched

@@ -1,0 +1,732 @@
+// Speculative parallel execution of ONE simulation (engine round 3,
+// --sim-threads=N).
+//
+// Structure: the calling thread is the *committer* and replays exactly the
+// serial event loop of engine.cc — the two-smallest (time, id) event scan,
+// quantum-bounded run windows, greedy dispatch, and every shared-L2 /
+// memory-channel interaction in global order. N-1 *speculation workers*
+// run ahead of it: each simulated core's trace expansion and private-L1
+// behaviour is a pure function of its own trace (the only cross-core
+// input is write invalidation), so a worker pre-executes it lock-free
+// against the core's live L1 and streams the outcomes — compute spans, L1
+// hits, and L1 misses with their evicted victim — through a per-core SPSC
+// ring. The committer consumes the ring in serial order, charging time
+// and performing the shared-state transitions (L2, presence masks, memory
+// channel) itself, so their global order is the serial one by
+// construction.
+//
+// Cross-core write invalidations are where speculation can be wrong. When
+// the committer commits a write hit that must invalidate core d's L1, it
+// checks the invalidation against d's not-yet-committed ops: it commutes
+// with every speculated op that neither touches the invalidated line (a
+// hit on it) nor installs into its L1 set (which would have chosen a
+// different victim). If it commutes, the line is invalidated in d's live
+// L1 directly and the delivery is recorded; otherwise d is rolled back to
+// its last snapshot and replayed up to the commit point — re-applying
+// every recorded delivery at its recorded position — after which the
+// worker regenerates the discarded ops against the corrected L1.
+//
+// Determinism: the committer performs the serial algorithm on the serial
+// schedule, and each committed op's outcome provably equals the serial
+// one (speculation moves *when* private work happens, never its result),
+// so SimResult is byte-identical to the serial engine at every thread
+// count — tests/golden_sim_test.cc pins all golden fixtures at
+// --sim-threads 1/2/4/8 and the CI determinism smoke diffs CLI output
+// byte-for-byte. Rollback/conflict *counts* do depend on host timing;
+// they are reported via ParallelSimStats, outside SimResult.
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "simarch/engine.h"
+#include "simarch/engine_detail.h"
+
+namespace cachesched {
+namespace engine_impl {
+namespace {
+
+using engine_detail::BufOp;
+using engine_detail::evt_key;
+using engine_detail::kBufOps;
+using engine_detail::kBufWrite;
+using engine_detail::TraceExpander;
+
+/// One speculated op in a core's ring: what the serial engine would have
+/// found when it reached this point of the core's trace.
+struct SpecOp {
+  uint64_t v;      // compute: cycle count; hit/miss: line number
+  uint64_t vline;  // miss: line evicted from the L1 by the speculative fill
+  uint32_t meta;   // hit/miss: instr_per_ref | kBufWrite
+  uint8_t kind;    // kOpCompute / kOpHit / kOpMiss
+  uint8_t vflags;  // miss: victim kVictimValid | kVictimDirty
+};
+enum : uint8_t { kOpCompute = 0, kOpHit = 1, kOpMiss = 2 };
+enum : uint8_t { kVictimValid = 1, kVictimDirty = 2 };
+
+/// Ring capacity (power of two). Bounds the speculation depth: deeper
+/// decouples the worker further but widens the conflict window and the
+/// worst-case rollback.
+constexpr uint32_t kRingCap = 1024;
+
+/// Committed ops between snapshot refreshes; bounds replay length to
+/// roughly this plus the ring depth.
+constexpr uint64_t kSnapshotEvery = 8192;
+
+/// A worker produces at most this many ops per lock acquisition, so
+/// invalidation deliveries (which take the same mutex) are never starved.
+constexpr int kProduceBatch = 256;
+
+/// A delivered invalidation recorded for replay: logically ordered before
+/// the op at ring index `pos`.
+struct PendingInval {
+  uint64_t pos;
+  uint64_t line;
+};
+
+/// Worker-side restore point. Only taken when the core's ring is empty,
+/// so every later delivery has position >= idx and can be replayed.
+struct Snapshot {
+  SetAssocCache l1;
+  uint32_t bi = 0, ri = 0;
+  uint32_t em[3] = {0, 0, 0};
+  BufOp stage[kBufOps];
+  int shead = 0, slen = 0;
+  uint64_t idx = 0;
+  explicit Snapshot(const SetAssocCache& c) : l1(c) {}
+};
+
+/// Per-simulated-core speculation state. `mu` serializes the worker's
+/// production against the committer's dispatch / invalidation-delivery /
+/// rollback; the ring itself is the lock-free SPSC hand-off (worker
+/// release-publishes `head` after writing slots, committer acquires).
+/// The committer keeps the authoritative consume index in its own ctail[]
+/// — the atomic `tail` exists only so the worker can bound ring space.
+struct alignas(64) SpecCore {
+  SpecCore(uint64_t sets, int ways) : l1(sets, ways), snap(l1) {}
+
+  std::mutex mu;
+  SetAssocCache l1;  // live L1: committed state + speculated ops [tail, head)
+  const PackedRef* blocks = nullptr;
+  uint32_t nb = 0;
+  uint32_t bi = 0, ri = 0;   // trace expansion cursor
+  uint32_t em[3] = {0, 0, 0};
+  BufOp stage[kBufOps];      // expansion staging buffer [shead, slen)
+  int shead = 0, slen = 0;
+  Snapshot snap;
+  std::vector<PendingInval> invals;  // deliveries since the snapshot
+  uint64_t snapshots = 0;            // stat; under mu
+
+  std::vector<SpecOp> ring = std::vector<SpecOp>(kRingCap);
+  std::atomic<uint64_t> head{0};  // produced: worker writes (committer on rollback)
+  std::atomic<uint64_t> tail{0};  // consumed: committer writes
+  std::atomic<uint64_t> snap_idx{0};  // == snap.idx; committer reads lock-free
+  std::atomic<bool> spec_done{false};  // trace exhausted at `head`
+  std::atomic<bool> refresh{false};    // committer asks for a fresh snapshot
+};
+
+struct CoreState {
+  enum State : uint8_t { kIdle, kRunning, kPendingL2, kCompleting };
+  State state = kIdle;
+  TaskId task = kNoTask;
+  uint64_t time = 0;
+  uint64_t busy = 0;
+};
+
+class ParallelSim {
+ public:
+  ParallelSim(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
+              const TaskDag& dag, Scheduler& sched, int threads, bool stress,
+              ParallelSimStats* out)
+      : cfg_(cfg),
+        quantum_(quantum),
+        collect_(collect_stats),
+        dag_(dag),
+        sched_(sched),
+        stress_(stress),
+        out_(out),
+        P_(cfg.cores),
+        l1_set_mask_(static_cast<uint64_t>(cfg.l1_sets()) - 1),
+        l2_(cfg.l2_sets(), cfg.l2_ways),
+        mem_(cfg.mem_latency_cycles, cfg.mem_service_cycles),
+        cores_(P_),
+        evt_(P_, UINT64_MAX),
+        ctail_(P_, 0) {
+    expander_.inter = dag.interleave_data();
+    expander_.ifast = dag.interleave_fast();
+    expander_.line_shift =
+        std::countr_zero(static_cast<unsigned>(cfg.line_bytes));
+    spec_.reserve(P_);
+    for (int i = 0; i < P_; ++i) {
+      spec_.push_back(std::make_unique<SpecCore>(cfg.l1_sets(), cfg.l1_ways));
+    }
+    // More workers than simulated cores cannot help (a core's trace is a
+    // serial stream); the cap also makes huge --sim-threads values safe.
+    num_workers_ = std::min(std::max(1, threads - 1), P_);
+  }
+
+  SimResult run();
+
+ private:
+  void worker_loop(int w);
+  void produce(SpecCore& sc, bool& any);
+  void take_snapshot(SpecCore& sc);
+  void start_task(int c, TaskId t, uint64_t now);
+  void do_complete(int c, uint64_t t);
+  void commit_run_core(int c, uint64_t other_min, uint64_t other_key);
+  uint64_t commit_l2_access(uint64_t t, int c, const SpecOp& op);
+  void deliver_inval(int d, uint64_t line);
+  void rollback(int d, uint64_t target);
+
+  const CmpConfig& cfg_;
+  const uint64_t quantum_;
+  const bool collect_;
+  const TaskDag& dag_;
+  Scheduler& sched_;
+  const bool stress_;
+  ParallelSimStats* const out_;
+  const int P_;
+  const uint64_t l1_set_mask_;
+  TraceExpander expander_{};
+  int num_workers_ = 1;
+
+  // Shared architectural state: committer-only.
+  SetAssocCache l2_;
+  MemChannel mem_;
+  std::vector<CoreState> cores_;
+  std::vector<uint64_t> evt_;
+  std::vector<uint64_t> ctail_;  // authoritative per-core consume index
+  std::vector<std::unique_ptr<SpecCore>> spec_;
+  std::vector<uint32_t> indeg_;
+  std::vector<TaskId> ready_buf_;
+  std::atomic<bool> stop_{false};
+
+  SimResult* res_ = nullptr;
+  size_t completed_ = 0;
+  uint64_t end_time_ = 0;
+  uint64_t acc_instr_ = 0;
+  uint64_t acc_l1_hits_ = 0;
+  uint64_t acc_l2_hits_ = 0;
+  uint64_t acc_l2_misses_ = 0;
+  uint64_t acc_invalidations_ = 0;
+  uint64_t acc_stall_ = 0;
+  ParallelSimStats st_;
+};
+
+// Assumes sc.mu is held and sc's ring is empty (head == tail), so the live
+// L1 and cursor are exactly the committed state at index `head`.
+void ParallelSim::take_snapshot(SpecCore& sc) {
+  const uint64_t idx = sc.head.load(std::memory_order_relaxed);
+  sc.snap.l1 = sc.l1;
+  sc.snap.bi = sc.bi;
+  sc.snap.ri = sc.ri;
+  std::copy(sc.em, sc.em + 3, sc.snap.em);
+  std::memcpy(sc.snap.stage, sc.stage, sizeof(sc.stage));
+  sc.snap.shead = sc.shead;
+  sc.snap.slen = sc.slen;
+  sc.snap.idx = idx;
+  sc.snap_idx.store(idx, std::memory_order_relaxed);
+  sc.invals.clear();
+  ++sc.snapshots;
+}
+
+void ParallelSim::start_task(int c, TaskId t, uint64_t now) {
+  CoreState& core = cores_[c];
+  core.task = t;
+  core.time = std::max(core.time, now) + cfg_.task_dispatch_cycles;
+  core.busy += cfg_.task_dispatch_cycles;
+  core.state = CoreState::kRunning;
+  evt_[c] = evt_key(core.time, c);
+
+  SpecCore& sc = *spec_[c];
+  std::lock_guard<std::mutex> lk(sc.mu);
+  const std::span<const PackedRef> blocks = dag_.blocks(t);
+  sc.blocks = blocks.data();
+  sc.nb = static_cast<uint32_t>(blocks.size());
+  sc.bi = 0;
+  sc.ri = 0;
+  sc.em[0] = sc.em[1] = sc.em[2] = 0;
+  sc.shead = 0;
+  sc.slen = 0;
+  take_snapshot(sc);  // ring is empty between tasks
+  sc.refresh.store(false, std::memory_order_relaxed);
+  sc.spec_done.store(false, std::memory_order_release);
+}
+
+void ParallelSim::produce(SpecCore& sc, bool& any) {
+  if (sc.refresh.load(std::memory_order_relaxed)) {
+    // A refresh must start from committed-only state, which means an
+    // empty ring; pause production until the committer drains it. No
+    // deadlock: the committer never waits on a non-empty ring.
+    if (sc.head.load(std::memory_order_relaxed) !=
+        sc.tail.load(std::memory_order_acquire)) {
+      return;
+    }
+    take_snapshot(sc);
+    sc.refresh.store(false, std::memory_order_relaxed);
+  }
+  uint64_t h = sc.head.load(std::memory_order_relaxed);
+  const uint64_t space =
+      kRingCap - static_cast<uint32_t>(
+                     h - sc.tail.load(std::memory_order_acquire));
+  if (space == 0) return;
+  int budget = static_cast<int>(std::min<uint64_t>(space, kProduceBatch));
+  bool exhausted = false;
+  while (budget > 0) {
+    if (sc.shead == sc.slen) {
+      sc.slen = expander_.expand(sc.blocks, sc.nb, sc.bi, sc.ri, sc.em,
+                                 sc.stage, kBufOps);
+      sc.shead = 0;
+      if (sc.slen == 0) {
+        exhausted = true;
+        break;
+      }
+    }
+    const BufOp op = sc.stage[sc.shead++];
+    SpecOp& so = sc.ring[h & (kRingCap - 1)];
+    if (op.meta == 0) {
+      so = SpecOp{op.v, 0, 0, kOpCompute, 0};
+    } else {
+      const bool wr = (op.meta & kBufWrite) != 0;
+      if (SetAssocCache::Line* e = sc.l1.access(op.v)) {
+        e->dirty |= wr;
+        so = SpecOp{op.v, 0, op.meta, kOpHit, 0};
+      } else {
+        const auto ev = sc.l1.install(op.v, wr, nullptr);
+        so = SpecOp{op.v, ev.line, op.meta, kOpMiss,
+                    static_cast<uint8_t>((ev.valid ? kVictimValid : 0) |
+                                         (ev.dirty ? kVictimDirty : 0))};
+      }
+    }
+    ++h;
+    --budget;
+    any = true;
+  }
+  sc.head.store(h, std::memory_order_release);
+  // Order matters: the done flag is published after the final ops, so a
+  // committer that acquires it and re-reads head sees the whole trace.
+  if (exhausted) sc.spec_done.store(true, std::memory_order_release);
+}
+
+void ParallelSim::worker_loop(int w) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool any = false;
+    for (int c = w; c < P_; c += num_workers_) {
+      SpecCore& sc = *spec_[c];
+      if (sc.spec_done.load(std::memory_order_acquire)) continue;
+      std::unique_lock<std::mutex> lk(sc.mu, std::try_to_lock);
+      if (!lk.owns_lock()) continue;  // committer is delivering/dispatching
+      produce(sc, any);
+    }
+    if (!any) std::this_thread::yield();
+  }
+}
+
+// Commits one shared-L2 access — the speculated op `op` of core c at time
+// t — mutating L2 / presence masks / memory channel exactly as the serial
+// engine's l2_access does, in the same order (channel request before the
+// L2-victim writeback before the L1-victim writeback: MemChannel
+// serialization is order-sensitive). The L1 fill itself already happened
+// speculatively on the worker; its inclusion bookkeeping replays here
+// from the recorded victim. Returns the access's cost beyond the first of
+// the reference's charged instructions.
+uint64_t ParallelSim::commit_l2_access(uint64_t t, int c, const SpecOp& op) {
+  const uint64_t line = op.v;
+  const bool write = (op.meta & kBufWrite) != 0;
+  const uint32_t ipr = op.meta & ~kBufWrite;
+  const uint32_t mybit = 1u << c;
+  uint64_t lat;
+  SetAssocCache::Line* e;
+  SetAssocCache::Evicted evd;
+  if (l2_.access_or_install(line, write, &e, &evd)) {
+    if (cfg_.l2_banks > 0) {
+      const int banks = cfg_.l2_banks;
+      const int home = static_cast<int>(line % static_cast<uint64_t>(banks));
+      const int slot =
+          static_cast<int>(static_cast<int64_t>(c) * banks / cfg_.cores);
+      const int d = std::abs(home - slot);
+      const int hops = std::min(d, banks - d);
+      lat = cfg_.l2_local_hit_cycles +
+            static_cast<uint64_t>(hops) * cfg_.bank_hop_cycles;
+    } else {
+      lat = cfg_.l2_hit_cycles;
+    }
+    ++acc_l2_hits_;
+    if (write) {
+      uint32_t others = e->presence & ~mybit;
+      while (others) {
+        const int i = std::countr_zero(others);
+        others &= others - 1;
+        deliver_inval(i, line);
+        ++acc_invalidations_;
+      }
+      e->presence &= mybit;
+      e->dirty = true;
+    }
+    e->presence |= mybit;
+  } else {
+    ++acc_l2_misses_;
+    if (collect_) ++res_->task_l2_misses[cores_[c].task];
+    const uint64_t ready = mem_.request(t);
+    lat = ready - t;
+    acc_stall_ += lat;
+    e->presence = mybit;
+    if (evd.valid && evd.dirty) mem_.post_writeback(t);
+  }
+  if (op.vflags & kVictimValid) {
+    SetAssocCache::Line* l2v = l2_.probe(op.vline);
+    if (l2v != nullptr) {
+      l2v->presence &= ~mybit;
+      l2v->dirty |= (op.vflags & kVictimDirty) != 0;
+    } else if (op.vflags & kVictimDirty) {
+      mem_.post_writeback(t);
+    }
+  }
+  return (ipr - 1) + lat;
+}
+
+// Delivers the invalidation of `line` into core d's L1 at the current
+// commit point (d's consume index). If any uncommitted speculated op of d
+// fails to commute with it — a hit on the invalidated line (would become
+// a miss) or a fill into its L1 set (would have evicted differently) —
+// d's speculation is first rolled back to the commit point. The delivery
+// is recorded so later rollbacks from the same snapshot re-apply it.
+void ParallelSim::deliver_inval(int d, uint64_t line) {
+  SpecCore& sd = *spec_[d];
+  ++st_.delivered_invalidations;
+  if (stress_) {
+    // Test knob: wait for d's speculation to quiesce (trace exhausted,
+    // ring full, or refresh-paused) so that a conflicting op, if the
+    // trace has one, is reliably in flight when the delivery happens.
+    // Purely a timing change — commits are unaffected.
+    for (;;) {
+      if (sd.spec_done.load(std::memory_order_acquire)) break;
+      const uint64_t h = sd.head.load(std::memory_order_acquire);
+      if (h - ctail_[d] == kRingCap) break;
+      if (sd.refresh.load(std::memory_order_relaxed) && h != ctail_[d]) break;
+      std::this_thread::yield();
+    }
+  }
+  std::lock_guard<std::mutex> lk(sd.mu);
+  const uint64_t tl = ctail_[d];
+  const uint64_t h = sd.head.load(std::memory_order_relaxed);
+  const uint64_t set = line & l1_set_mask_;
+  bool conflict = false;
+  for (uint64_t i = tl; i != h; ++i) {
+    const SpecOp& o = sd.ring[i & (kRingCap - 1)];
+    if (o.kind == kOpCompute) continue;
+    if (o.kind == kOpHit ? o.v == line : (o.v & l1_set_mask_) == set) {
+      conflict = true;
+      break;
+    }
+  }
+  if (conflict) {
+    ++st_.conflicts;
+    rollback(d, tl);
+  }
+  sd.l1.invalidate(line);
+  sd.invals.push_back({tl, line});
+}
+
+// Restores core d's speculation to its snapshot and replays it up to ring
+// index `target` (d's consume index), applying each recorded invalidation
+// delivery just before the op it logically precedes. Replay regenerates
+// the trace and re-executes the L1 — outcomes are recomputed, not reused
+// — then rewinds `head` so the worker re-produces the discarded ops
+// against the corrected L1. Assumes sd.mu is held.
+void ParallelSim::rollback(int d, uint64_t target) {
+  SpecCore& sd = *spec_[d];
+  const Snapshot& s = sd.snap;
+  sd.l1 = s.l1;
+  sd.bi = s.bi;
+  sd.ri = s.ri;
+  std::copy(s.em, s.em + 3, sd.em);
+  std::memcpy(sd.stage, s.stage, sizeof(sd.stage));
+  sd.shead = s.shead;
+  sd.slen = s.slen;
+  size_t li = 0;
+  const std::vector<PendingInval>& iv = sd.invals;
+  for (uint64_t i = s.idx; i != target; ++i) {
+    while (li < iv.size() && iv[li].pos <= i) {  // positions are monotone
+      sd.l1.invalidate(iv[li].line);
+      ++li;
+    }
+    if (sd.shead == sd.slen) {
+      // Cannot run dry: i < target <= previously produced count.
+      sd.slen = expander_.expand(sd.blocks, sd.nb, sd.bi, sd.ri, sd.em,
+                                 sd.stage, kBufOps);
+      sd.shead = 0;
+    }
+    const BufOp op = sd.stage[sd.shead++];
+    if (op.meta != 0) {
+      const bool wr = (op.meta & kBufWrite) != 0;
+      if (SetAssocCache::Line* e = sd.l1.access(op.v)) {
+        e->dirty |= wr;
+      } else {
+        sd.l1.install(op.v, wr, nullptr);
+      }
+    }
+    ++st_.replayed_ops;
+  }
+  while (li < iv.size()) {  // remaining deliveries sit at pos == target
+    sd.l1.invalidate(iv[li].line);
+    ++li;
+  }
+  sd.head.store(target, std::memory_order_release);
+  // The discarded ops [target, old head) must be regenerated even if the
+  // worker had already exhausted the trace — it re-discovers the end.
+  sd.spec_done.store(false, std::memory_order_release);
+  ++st_.rollbacks;
+}
+
+// The serial engine's run_core, consuming core c's speculated op stream
+// instead of expanding the trace itself: identical exit conditions in the
+// identical order (pending access first, then the yield check before
+// every op, trace end, and the inline-vs-pending L2 ordering rule on the
+// packed keys). See engine.cc run_core.
+void ParallelSim::commit_run_core(int c, uint64_t other_min,
+                                  uint64_t other_key) {
+  CoreState& core = cores_[c];
+  SpecCore& sc = *spec_[c];
+  const uint64_t limit =
+      other_min > UINT64_MAX - quantum_ ? UINT64_MAX : other_min + quantum_;
+
+  uint64_t t = ctail_[c];
+  uint64_t h = sc.head.load(std::memory_order_acquire);
+  uint64_t time = core.time;
+  uint64_t busy = 0;
+  uint32_t refs = 0;
+
+  enum : int { kYield, kDone, kMiss } exit_kind;
+
+  bool do_access = core.state == CoreState::kPendingL2;
+
+  for (;;) {
+    if (do_access) {
+      do_access = false;
+      // The pending reference was counted when it first missed; its ring
+      // entry was left unconsumed. A rollback in between may have
+      // discarded it, so wait for the worker to regenerate it (the
+      // regenerated line/write/ipr are the same — the trace is pure —
+      // but the L1 victim may differ, now reflecting the invalidation
+      // that caused the rollback, exactly as the serial engine's fill at
+      // this point would).
+      while (t == h) {
+        h = sc.head.load(std::memory_order_acquire);
+        if (t == h) std::this_thread::yield();
+      }
+      const SpecOp op = sc.ring[t & (kRingCap - 1)];
+      ++t;
+      sc.tail.store(t, std::memory_order_release);
+      const uint64_t cost = commit_l2_access(time, c, op);
+      time += cost;
+      busy += cost;
+      continue;
+    }
+    if (time > limit) {
+      exit_kind = kYield;
+      break;
+    }
+    if (t == h) {
+      h = sc.head.load(std::memory_order_acquire);
+      if (t == h) {
+        if (sc.spec_done.load(std::memory_order_acquire)) {
+          // Re-check: the done flag is published after the final ops.
+          h = sc.head.load(std::memory_order_acquire);
+          if (t == h) {
+            exit_kind = kDone;
+            break;
+          }
+        } else {
+          sc.tail.store(t, std::memory_order_release);
+          std::this_thread::yield();
+        }
+        continue;
+      }
+    }
+    const SpecOp op = sc.ring[t & (kRingCap - 1)];
+    if (op.kind == kOpCompute) {
+      ++t;
+      time += op.v;
+      busy += op.v;
+      acc_instr_ += op.v;
+      continue;
+    }
+    const uint32_t ipr = op.meta & ~kBufWrite;
+    if (op.kind == kOpHit) {
+      ++t;
+      sc.tail.store(t, std::memory_order_release);
+      ++refs;
+      acc_instr_ += ipr;
+      ++acc_l1_hits_;
+      time += ipr;
+      busy += ipr;
+      continue;
+    }
+    // L1 miss -> shared-L2 access. The reference is counted now; the
+    // access happens inline only while this core's packed key precedes
+    // every other core's (the serial rule, including ties).
+    ++refs;
+    acc_instr_ += ipr;
+    if (evt_key(time, c) < other_key) {
+      ++t;
+      sc.tail.store(t, std::memory_order_release);
+      const uint64_t cost = commit_l2_access(time, c, op);
+      time += cost;
+      busy += cost;
+    } else {
+      exit_kind = kMiss;  // entry stays at the tail for the re-dispatch
+      break;
+    }
+  }
+  ctail_[c] = t;
+  sc.tail.store(t, std::memory_order_release);
+  core.time = time;
+  evt_[c] = evt_key(time, c);
+  core.busy += busy;
+  if (collect_) res_->task_refs[core.task] += refs;
+  switch (exit_kind) {
+    case kYield:
+      core.state = CoreState::kRunning;
+      break;
+    case kDone:
+      core.state = CoreState::kCompleting;
+      break;
+    case kMiss:
+      core.state = CoreState::kPendingL2;
+      break;
+  }
+  // Ask the worker for a fresh snapshot once enough has been committed
+  // since the last one; it takes it at the next ring drain.
+  if (t - sc.snap_idx.load(std::memory_order_relaxed) > kSnapshotEvery) {
+    sc.refresh.store(true, std::memory_order_relaxed);
+  }
+}
+
+void ParallelSim::do_complete(int c, uint64_t t) {
+  CoreState& core = cores_[c];
+  ++res_->tasks_executed;
+  ++completed_;
+  end_time_ = std::max(end_time_, t);
+  ready_buf_.clear();
+  for (TaskId ch : dag_.children(core.task)) {
+    if (--indeg_[ch] == 0) ready_buf_.push_back(ch);
+  }
+  core.task = kNoTask;
+  core.state = CoreState::kIdle;
+  evt_[c] = UINT64_MAX;
+  if (!ready_buf_.empty()) sched_.enqueue_ready(c, ready_buf_);
+  for (int step = 0; step < P_ + 1; ++step) {
+    const int i = (step == 0) ? c : step - 1;
+    if (cores_[i].state != CoreState::kIdle) continue;
+    const TaskId u = sched_.acquire(i);
+    if (u == kNoTask) break;
+    start_task(i, u, t);
+  }
+}
+
+SimResult ParallelSim::run() {
+  SimResult res;
+  res.scheduler = sched_.name();
+  res.config = cfg_.name;
+  res.cores = P_;
+  res.core_busy_cycles.assign(P_, 0);
+  if (collect_) {
+    res.task_l2_misses.assign(dag_.num_tasks(), 0);
+    res.task_refs.assign(dag_.num_tasks(), 0);
+  }
+  res_ = &res;
+
+  indeg_.resize(dag_.num_tasks());
+  for (TaskId t = 0; t < dag_.num_tasks(); ++t) {
+    indeg_[t] = dag_.task(t).num_parents;
+  }
+
+  sched_.reset(dag_, P_);
+  sched_.enqueue_ready(0, dag_.roots());
+
+  for (int i = 0; i < P_; ++i) {
+    const TaskId u = sched_.acquire(i);
+    if (u == kNoTask) break;
+    start_task(i, u, 0);
+  }
+
+  {
+    // RAII join: a committer exception (DAG deadlock) still stops the
+    // workers before unwinding.
+    struct Pool {
+      std::atomic<bool>* stop;
+      std::vector<std::thread> threads;
+      explicit Pool(std::atomic<bool>* s) : stop(s) {}
+      ~Pool() {
+        stop->store(true, std::memory_order_release);
+        for (auto& th : threads) th.join();
+      }
+    } pool(&stop_);
+    pool.threads.reserve(num_workers_);
+    for (int w = 0; w < num_workers_; ++w) {
+      pool.threads.emplace_back([this, w] { worker_loop(w); });
+    }
+
+    while (completed_ < dag_.num_tasks()) {
+      uint64_t k1 = UINT64_MAX;
+      uint64_t k2 = UINT64_MAX;
+      for (int i = 0; i < P_; ++i) {
+        const uint64_t key = evt_[i];
+        const uint64_t hi = key > k1 ? key : k1;
+        k1 = key < k1 ? key : k1;
+        k2 = hi < k2 ? hi : k2;
+      }
+      if (k1 == UINT64_MAX) {
+        throw std::runtime_error(
+            "simulation deadlock: tasks remain but no core is active "
+            "(unreachable tasks in DAG?)");
+      }
+      const int c = static_cast<int>(k1 & 31);
+      const uint64_t t1 = k1 >> 5;
+      const uint64_t t2 = k2 >= (uint64_t{1} << 58) ? UINT64_MAX : k2 >> 5;
+      if (cores_[c].state == CoreState::kCompleting) {
+        do_complete(c, t1);
+      } else {
+        commit_run_core(c, t2, k2);
+      }
+    }
+  }  // workers joined
+
+  res.cycles = end_time_;
+  res.instructions = acc_instr_;
+  res.l1_hits = acc_l1_hits_;
+  res.l2_hits = acc_l2_hits_;
+  res.l2_misses = acc_l2_misses_;
+  res.invalidations = acc_invalidations_;
+  res.mem_stall_cycles = acc_stall_;
+  res.writebacks = mem_.writebacks();
+  res.mem_queue_cycles = mem_.queue_delay_cycles();
+  res.mem_busy_cycles = mem_.busy_cycles();
+  res.steals = sched_.steal_count();
+  for (int i = 0; i < P_; ++i) res.core_busy_cycles[i] = cores_[i].busy;
+
+  for (int i = 0; i < P_; ++i) st_.snapshots += spec_[i]->snapshots;
+  *out_ = st_;
+  return res;
+}
+
+}  // namespace
+
+SimResult simulate_parallel(const CmpConfig& cfg, uint64_t quantum,
+                            bool collect_task_stats, const TaskDag& dag,
+                            Scheduler& sched, int threads,
+                            bool conflict_stress, ParallelSimStats* stats) {
+  ParallelSim sim(cfg, quantum, collect_task_stats, dag, sched, threads,
+                  conflict_stress, stats);
+  return sim.run();
+}
+
+}  // namespace engine_impl
+}  // namespace cachesched

@@ -12,7 +12,13 @@
 // regenerate the table by printing the same fields from a build at the
 // old semantics and update this file in the same commit — never adjust a
 // single row to make a failure go away.
+//
+// Every fixture runs at --sim-threads 1, 2, 4 and 8: the speculative
+// parallel engine (engine_parallel.cc) must reproduce the serial engine's
+// SimResult byte-for-byte at every thread count, against the same
+// pre-optimization values.
 #include <cstdint>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -118,10 +124,12 @@ const GoldenCase kGolden[] = {
      223721108, 3225908, 32479410, 1380, 662064376, 734984, 1307134},
 };
 
-class GoldenSim : public ::testing::TestWithParam<GoldenCase> {};
+class GoldenSim
+    : public ::testing::TestWithParam<std::tuple<GoldenCase, int>> {};
 
 TEST_P(GoldenSim, MatchesPreOptimizationEngine) {
-  const GoldenCase& g = GetParam();
+  const GoldenCase& g = std::get<0>(GetParam());
+  const int sim_threads = std::get<1>(GetParam());
   CmpConfig cfg = default_config(g.cores).scaled(g.scale);
   cfg.l2_banks = g.l2_banks;
   AppOptions opt;
@@ -131,6 +139,7 @@ TEST_P(GoldenSim, MatchesPreOptimizationEngine) {
   CmpSimulator sim(cfg);
   sim.set_quantum_cycles(g.quantum);
   sim.set_collect_task_stats(true);
+  sim.set_sim_threads(sim_threads);
   const auto sched = make_scheduler(g.sched);
   const SimResult r = sim.run(w.dag, *sched);
 
@@ -157,22 +166,26 @@ TEST_P(GoldenSim, MatchesPreOptimizationEngine) {
   EXPECT_EQ(task_refs, g.task_ref_sum);
 }
 
-std::string case_name(const ::testing::TestParamInfo<GoldenCase>& info) {
+std::string case_name(
+    const ::testing::TestParamInfo<std::tuple<GoldenCase, int>>& info) {
+  const GoldenCase& g = std::get<0>(info.param);
   // Gen specs contain characters gtest rejects; keep the family name.
-  std::string app(info.param.app);
+  std::string app(g.app);
   if (const size_t colon = app.find(':'); colon != std::string::npos) {
     app = app.substr(0, colon) + "_gen";
   }
-  std::string n = app + "_" + info.param.sched + "_" +
-                  std::to_string(info.param.cores) + "c";
-  if (info.param.l2_banks > 0) n += "_banked";
-  if (info.param.quantum == 0) n += "_q0";
-  if (info.param.scale != 0.03125) n += "_small";
-  if (info.param.task_ws != 0) n += "_tws";
-  return n;
+  std::string n =
+      app + "_" + g.sched + "_" + std::to_string(g.cores) + "c";
+  if (g.l2_banks > 0) n += "_banked";
+  if (g.quantum == 0) n += "_q0";
+  if (g.scale != 0.03125) n += "_small";
+  if (g.task_ws != 0) n += "_tws";
+  return n + "_t" + std::to_string(std::get<1>(info.param));
 }
 
-INSTANTIATE_TEST_SUITE_P(Matrix, GoldenSim, ::testing::ValuesIn(kGolden),
+INSTANTIATE_TEST_SUITE_P(Matrix, GoldenSim,
+                         ::testing::Combine(::testing::ValuesIn(kGolden),
+                                            ::testing::Values(1, 2, 4, 8)),
                          case_name);
 
 }  // namespace

@@ -3,10 +3,11 @@
 //   cachesched_cli run   --app=mergesort --cores=16 [--sched=pdf,ws]
 //                        [--scale=0.125] [--tech=default|45nm]
 //                        [--l2-hit=N] [--mem-latency=N] [--task-ws=BYTES]
+//                        [--sim-threads=N]
 //   cachesched_cli trace --app=hashjoin --cores=8 --out=join.dag
 //                        [--scale=0.125]            # collect once...
 //   cachesched_cli replay --dag=join.dag --cores=8 [--sched=pdf]
-//                        [--scale=0.125]            # ...simulate many
+//                        [--scale=0.125] [--sim-threads=N]  # ...simulate many
 //   cachesched_cli configs                          # print Tables 2 and 3
 //   cachesched_cli list                             # registered schedulers
 //                                                   # and workloads
@@ -16,6 +17,9 @@
 //                        [--csv=path] [--json=path] [--progress]
 //                        [--l2-hit=N] [--mem-latency=N] [--banks=N]
 //                        [--dispatch=N] [--quantum=N] # parallel job matrix
+//                        [--sim-threads=N]  # threads per simulation,
+//                        composing with --jobs (results are byte-identical
+//                        at every thread count; see simarch/engine.h)
 //   cachesched_cli sweep ... --store=DIR [--resume]   # incremental: load
 //                        completed jobs from the content-addressed result
 //                        store, simulate + persist only the rest
@@ -46,6 +50,7 @@
 #include <iostream>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -106,14 +111,25 @@ std::vector<std::string> sched_list(const CliArgs& args) {
   return out;
 }
 
+/// --sim-threads: 0 = flag absent, leave the simulator default
+/// ($CACHESCHED_SIM_THREADS or serial); an explicit value must be >= 1.
+int sim_threads_from_args(const CliArgs& args) {
+  const int n = static_cast<int>(args.get_int("sim-threads", 0));
+  if (args.has("sim-threads") && n < 1) {
+    throw std::invalid_argument("--sim-threads must be >= 1");
+  }
+  return n;
+}
+
 void report(const TaskDag& dag, const CmpConfig& cfg,
             const std::vector<std::string>& scheds,
-            std::optional<uint64_t> quantum = {}) {
+            std::optional<uint64_t> quantum = {}, int sim_threads = 0) {
   Table t({"sched", "cycles", "L2miss/1Kinstr", "l1_hits", "l2_hits",
            "l2_misses", "bw_util%", "core_util%", "steals"});
   for (const auto& sched : scheds) {
     CmpSimulator sim(cfg);
     if (quantum) sim.set_quantum_cycles(*quantum);
+    if (sim_threads > 0) sim.set_sim_threads(sim_threads);
     auto s = make_scheduler(sched);
     const SimResult r = sim.run(dag, *s);
     t.add_row({r.scheduler, Table::num(r.cycles),
@@ -137,8 +153,8 @@ int cmd_run(const CliArgs& args) {
   const Workload w = make_workload(args.get("app", "mergesort"), cfg, opt);
   std::cout << w.name << ": " << w.params << " (" << w.dag.num_tasks()
             << " tasks, " << w.dag.total_refs() << " refs)\n";
-  report(w.dag, cfg, sched_list(args),
-         overrides_from_args(args).quantum_cycles);
+  report(w.dag, cfg, sched_list(args), overrides_from_args(args).quantum_cycles,
+         sim_threads_from_args(args));
   return 0;
 }
 
@@ -168,7 +184,7 @@ int cmd_replay(const CliArgs& args) {
   std::cout << "loaded " << dag.num_tasks() << " tasks / " << dag.total_refs()
             << " refs from " << path << "\n";
   report(dag, config_from_args(args), sched_list(args),
-         overrides_from_args(args).quantum_cycles);
+         overrides_from_args(args).quantum_cycles, sim_threads_from_args(args));
   return 0;
 }
 
@@ -202,6 +218,7 @@ int cmd_sweep(const CliArgs& args) {
 
   SweepOptions opt;
   opt.workers = static_cast<int>(args.get_int("jobs", 0));
+  opt.sim_threads = sim_threads_from_args(args);
   if (args.get_bool("progress", false)) {
     opt.on_result = [](const SweepRecord& r, size_t done, size_t total) {
       std::fprintf(stderr, "[%zu/%zu] %s/%s cores=%d done\n", done, total,
@@ -292,6 +309,7 @@ int cmd_sweep_merge(const CliArgs& args) {
   // workflow — rerun the exact shard command line with `merge` in front —
   // works verbatim (merge only loads records, it runs nothing).
   args.get_int("jobs", 0);
+  sim_threads_from_args(args);
   args.get_bool("progress", false);
   if (const int rc = args.check_unused()) return rc;
   if (store_dir.empty()) {
