@@ -23,9 +23,9 @@ class RandomScheduler final : public Scheduler {
  public:
   explicit RandomScheduler(uint64_t seed) : rng_(seed) {}
 
-  void reset(const TaskDag& dag, int num_cores) override {
+  void reset(const TaskDag& dag, const SchedContext& ctx) override {
     (void)dag;
-    (void)num_cores;
+    (void)ctx;
     ready_.clear();
   }
   void enqueue_ready(int core, std::span<const TaskId> ready) override {

@@ -21,11 +21,13 @@ namespace cachesched::perf {
 
 namespace {
 
-/// `app` is any make_workload spec; `label` overrides the benchmark-name
-/// component when the spec itself is too unwieldy for a stable JSON key.
+/// `app` is any make_workload spec; `label` (and `sched_label` for
+/// parameterized scheduler specs) override the benchmark-name components
+/// when the spec itself is too unwieldy for a stable JSON key.
 Benchmark bench_engine(const std::string& app, const std::string& sched,
                        double scale, int warmup, int reps,
-                       const std::string& label = "") {
+                       const std::string& label = "",
+                       const std::string& sched_label = "") {
   const CmpConfig cfg = default_config(8).scaled(scale);
   AppOptions opt;
   opt.scale = scale;
@@ -38,7 +40,8 @@ Benchmark bench_engine(const std::string& app, const std::string& sched,
     refs = r.total_refs();
   });
   Benchmark b;
-  b.name = "engine/" + (label.empty() ? app : label) + "/" + sched;
+  b.name = "engine/" + (label.empty() ? app : label) + "/" +
+           (sched_label.empty() ? sched : sched_label);
   b.metric = "Mrefs_per_sec";
   b.work_items = refs;
   b.stats = stats;
@@ -294,6 +297,18 @@ Report run_suite(const SuiteOptions& options) {
       quick ? "dnc:depth=8,fanout=2,ws=32K,share=0.25,seed=7"
             : "dnc:depth=9,fanout=2,ws=32K,share=0.25,seed=7";
   add(bench_engine(gen_spec, "pdf", engine_scale, warmup, reps, "gen_dnc"));
+
+  // Scheduler zoo (PR 8): the two parameterized stealing variants on a
+  // generated stencil, tracking the per-core-deque + victim-policy paths
+  // (per-core PRNG probing, bank-distance victim order, batched
+  // steal-half) that the pdf/ws rows never enter. Same engine/* gate.
+  const std::string stencil_spec =
+      quick ? "stencil:tiles=64,steps=8,ws=32K,share=0.25,seed=7"
+            : "stencil:tiles=64,steps=32,ws=64K,share=0.25,seed=7";
+  add(bench_engine(stencil_spec, "ws:victims=rand,steal=half,seed=7",
+                   engine_scale, warmup, reps, "stencil", "ws_rand_half"));
+  add(bench_engine(stencil_spec, "aff:steal=half", engine_scale, warmup,
+                   reps, "stencil", "aff_half"));
 
   for (Benchmark& b : bench_engine_parallel(quick, warmup, reps)) {
     add(std::move(b));

@@ -1,0 +1,55 @@
+#include "sched/affinity_scheduler.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "sched/registry.h"
+
+namespace cachesched {
+
+void AffinityScheduler::on_reset(const TaskDag& dag, const SchedContext& ctx) {
+  (void)dag;
+  const int p = ctx.num_cores;
+  const int banks = ctx.l2_banks > 0 ? ctx.l2_banks : p;
+  // Same placement as the engine's banked-L2 latency model: core c at
+  // bank slot c*banks/P, ring distance between slots.
+  auto slot = [&](int c) { return c * banks / p; };
+  auto hops = [&](int a, int b) {
+    const int d = std::abs(slot(a) - slot(b));
+    return std::min(d, banks - d);
+  };
+  victim_order_.assign(p, {});
+  for (int c = 0; c < p; ++c) {
+    auto& order = victim_order_[c];
+    order.reserve(p - 1);
+    for (int k = 1; k < p; ++k) order.push_back((c + k) % p);
+    // Stable: equal-distance victims keep the ws ring-scan order.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](int a, int b) { return hops(c, a) < hops(c, b); });
+  }
+}
+
+int AffinityScheduler::pick_victim(int core) {
+  for (int v : victim_order_[core]) {
+    if (!deque_empty(v)) return v;
+  }
+  return -1;
+}
+
+namespace {
+
+std::unique_ptr<Scheduler> make_aff(const SchedSpec& spec) {
+  SchedParams p(spec, {"steal"});
+  AffinityScheduler::Options opt;
+  opt.steal = static_cast<StealingSchedulerBase::Steal>(
+      p.get_choice("steal", 0, {"one", "half"}));
+  return std::make_unique<AffinityScheduler>(opt, spec.str());
+}
+
+}  // namespace
+
+CACHESCHED_REGISTER_SCHEDULER_SPEC(
+    "aff", aff, make_aff,
+    {{"steal", "one", "tasks per steal: one or half (bottom ceil(n/2))"}})
+
+}  // namespace cachesched

@@ -1,0 +1,40 @@
+// Locality-aware work stealing ("aff"): like ws, but victims are scanned
+// in order of physical distance on the banked-L2 ring instead of plain
+// ring order, so a thief prefers a victim whose deque (and therefore
+// whose recently-touched lines) lives near its own L2 bank slot.
+//
+// The geometry mirrors the engine's S-NUCA model exactly: core c sits at
+// bank slot c*banks/P and the distance between two slots is the ring
+// distance min(d, banks-d). With a monolithic L2 (l2_banks=0) the cores
+// themselves form the ring (banks=P), which degenerates to preferring
+// ring-adjacent cores. Ties (equal distance) keep the ws ring-scan order,
+// so aff on a monolithic L2 with steal=one differs from ws only in victim
+// *priority*, not in mechanism.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/stealing_base.h"
+
+namespace cachesched {
+
+class AffinityScheduler final : public StealingSchedulerBase {
+ public:
+  struct Options {
+    Steal steal = Steal::kOne;
+  };
+
+  AffinityScheduler() : AffinityScheduler(Options{}, "aff") {}
+  AffinityScheduler(const Options& opt, std::string label)
+      : StealingSchedulerBase(opt.steal, std::move(label)) {}
+
+ protected:
+  void on_reset(const TaskDag& dag, const SchedContext& ctx) override;
+  int pick_victim(int core) override;
+
+ private:
+  std::vector<std::vector<int>> victim_order_;  // per core, by distance
+};
+
+}  // namespace cachesched

@@ -12,9 +12,9 @@ namespace cachesched {
 
 class CentralFifoScheduler final : public Scheduler {
  public:
-  void reset(const TaskDag& dag, int num_cores) override {
+  void reset(const TaskDag& dag, const SchedContext& ctx) override {
     (void)dag;
-    (void)num_cores;
+    (void)ctx;
     queue_.clear();
   }
   void enqueue_ready(int core, std::span<const TaskId> ready) override {

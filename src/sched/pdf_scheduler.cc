@@ -6,9 +6,9 @@ namespace cachesched {
 
 CACHESCHED_REGISTER_SCHEDULER("pdf", PdfScheduler)
 
-void PdfScheduler::reset(const TaskDag& dag, int num_cores) {
+void PdfScheduler::reset(const TaskDag& dag, const SchedContext& ctx) {
   (void)dag;
-  (void)num_cores;
+  (void)ctx;
   heap_ = {};
 }
 

@@ -21,7 +21,7 @@ namespace cachesched {
 
 class PdfScheduler final : public Scheduler {
  public:
-  void reset(const TaskDag& dag, int num_cores) override;
+  void reset(const TaskDag& dag, const SchedContext& ctx) override;
   void enqueue_ready(int core, std::span<const TaskId> ready) override;
   TaskId acquire(int core) override;
   bool empty() const override { return heap_.empty(); }

@@ -1,0 +1,76 @@
+#include "sched/priority_scheduler.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "sched/registry.h"
+
+namespace cachesched {
+
+void PriorityScheduler::reset(const TaskDag& dag, const SchedContext& ctx) {
+  (void)ctx;
+  heap_ = {};
+  const size_t n = dag.num_tasks();
+  keys_.assign(n, 0);
+  switch (opt_.key) {
+    case Key::kId:
+      for (TaskId t = 0; t < n; ++t) keys_[t] = t;
+      break;
+    case Key::kDepth:
+      // Edges point forward in 1DF order, so one ascending pass settles
+      // the longest task-count path from any root.
+      for (TaskId t = 0; t < n; ++t) {
+        for (TaskId ch : dag.children(t)) {
+          keys_[ch] = std::max(keys_[ch], keys_[t] + 1);
+        }
+      }
+      break;
+    case Key::kWork:
+      for (TaskId t = 0; t < n; ++t) keys_[t] = dag.task(t).work;
+      break;
+    case Key::kWs:
+      for (TaskId t = 0; t < n; ++t) {
+        const GroupId g = dag.task(t).group;
+        const int64_t param = g == kNoGroup ? 0 : dag.group(g).param;
+        keys_[t] = param > 0 ? static_cast<uint64_t>(param) : 0;
+      }
+      break;
+  }
+  if (opt_.order == Order::kMax) {
+    for (auto& k : keys_) k = ~k;
+  }
+}
+
+void PriorityScheduler::enqueue_ready(int core, std::span<const TaskId> ready) {
+  (void)core;
+  for (TaskId t : ready) heap_.emplace(keys_[t], t);
+}
+
+TaskId PriorityScheduler::acquire(int core) {
+  (void)core;
+  if (heap_.empty()) return kNoTask;
+  const TaskId t = heap_.top().second;
+  heap_.pop();
+  return t;
+}
+
+namespace {
+
+std::unique_ptr<Scheduler> make_prio(const SchedSpec& spec) {
+  SchedParams p(spec, {"key", "order"});
+  PriorityScheduler::Options opt;
+  opt.key = static_cast<PriorityScheduler::Key>(
+      p.get_choice("key", 0, {"id", "depth", "work", "ws"}));
+  opt.order = static_cast<PriorityScheduler::Order>(
+      p.get_choice("order", 0, {"min", "max"}));
+  return std::make_unique<PriorityScheduler>(opt, spec.str());
+}
+
+}  // namespace
+
+CACHESCHED_REGISTER_SCHEDULER_SPEC(
+    "prio", prio, make_prio,
+    {{"key", "id", "task key: id (1DF), depth, work, ws (group param)"},
+     {"order", "min", "extremum handed out first: min or max"}})
+
+}  // namespace cachesched

@@ -1,0 +1,62 @@
+// Priority-queue scheduler ("prio"): a centralized greedy scheduler that
+// hands out the ready task extremizing a configurable key.
+//
+//   prio:key=id,order=min      == PDF (sequential order; the default)
+//   prio:key=depth,order=max   deepest-first (critical-path-ish)
+//   prio:key=work,order=max    largest-task-first (LPT-style)
+//   prio:key=ws,order=min      smallest-working-set-first
+//
+// Keys are precomputed at reset from DAG metadata: `id` is the 1DF
+// sequential index, `depth` the longest task-count path from a root
+// (forward scan — edges always point forward in sequential order),
+// `work` the task's instruction count and `ws` the problem-size
+// parameter of the task's innermost TaskGroup (the spawn-site size
+// annotation, a cheap working-set proxy; the cfb scheduler uses the
+// profiler for exact bytes). Ties always break toward the smaller task
+// id, so every configuration is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/scheduler.h"
+
+namespace cachesched {
+
+class PriorityScheduler final : public Scheduler {
+ public:
+  enum class Key { kId, kDepth, kWork, kWs };
+  enum class Order { kMin, kMax };
+
+  struct Options {
+    Key key = Key::kId;
+    Order order = Order::kMin;
+  };
+
+  PriorityScheduler() : PriorityScheduler(Options{}, "prio") {}
+  PriorityScheduler(const Options& opt, std::string label)
+      : opt_(opt), label_(std::move(label)) {}
+
+  void reset(const TaskDag& dag, const SchedContext& ctx) override;
+  void enqueue_ready(int core, std::span<const TaskId> ready) override;
+  TaskId acquire(int core) override;
+  bool empty() const override { return heap_.empty(); }
+  const char* name() const override { return label_.c_str(); }
+
+ private:
+  Options opt_;
+  std::string label_;
+  // keys_[t] is pre-flipped for order=max (bitwise complement), so the
+  // min-heap on (key, id) realizes both orders with the same id
+  // tie-break.
+  std::vector<uint64_t> keys_;
+  std::priority_queue<std::pair<uint64_t, TaskId>,
+                      std::vector<std::pair<uint64_t, TaskId>>,
+                      std::greater<std::pair<uint64_t, TaskId>>>
+      heap_;
+};
+
+}  // namespace cachesched

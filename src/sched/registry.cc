@@ -5,11 +5,17 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/cli.h"
+
 namespace cachesched {
 
 struct SchedulerRegistry::Impl {
+  struct Entry {
+    SchedulerFactory factory;
+    std::vector<SchedParamDoc> params;
+  };
   mutable std::mutex mu;
-  std::map<std::string, SchedulerFactory> factories;
+  std::map<std::string, Entry> entries;
 };
 
 SchedulerRegistry& SchedulerRegistry::instance() {
@@ -24,60 +30,86 @@ SchedulerRegistry::Impl& SchedulerRegistry::impl() const {
   return i;
 }
 
-void SchedulerRegistry::add(const std::string& name,
-                            SchedulerFactory factory) {
+void SchedulerRegistry::add(const std::string& name, SchedulerFactory factory,
+                            std::vector<SchedParamDoc> params) {
   if (name.empty() || !factory) {
     throw std::invalid_argument(
         "scheduler registration needs a name and a factory");
   }
+  if (name.find(':') != std::string::npos ||
+      name.find(',') != std::string::npos) {
+    // ':' starts the parameter section and ',' separates parameters, so
+    // neither can appear in a registered name.
+    throw std::invalid_argument("scheduler name \"" + name +
+                                "\" may not contain ':' or ','");
+  }
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mu);
-  if (!i.factories.emplace(name, std::move(factory)).second) {
+  if (!i.entries
+           .emplace(name, Impl::Entry{std::move(factory), std::move(params)})
+           .second) {
     throw std::invalid_argument("duplicate scheduler registration: " + name);
   }
 }
 
 std::unique_ptr<Scheduler> SchedulerRegistry::make(
-    const std::string& name) const {
+    const std::string& spec_string) const {
+  const SchedSpec spec = SchedSpec::parse(spec_string);
   SchedulerFactory factory;
   {
     Impl& i = impl();
     std::lock_guard<std::mutex> lock(i.mu);
-    auto it = i.factories.find(name);
-    if (it != i.factories.end()) factory = it->second;
+    auto it = i.entries.find(spec.name);
+    if (it != i.entries.end()) factory = it->second.factory;
   }
   if (!factory) {
+    const std::vector<std::string> known = names();
     std::ostringstream os;
-    os << "unknown scheduler: " << name << " (known:";
-    for (const auto& n : names()) os << " " << n;
+    os << "unknown scheduler: " << spec.name << " (known:";
+    for (const auto& n : known) os << " " << n;
     os << ")";
+    const std::string near = nearest_flag(spec.name, known);
+    if (!near.empty()) os << " — did you mean " << near << "?";
     throw std::invalid_argument(os.str());
   }
-  return factory();
+  return factory(spec);
 }
 
 bool SchedulerRegistry::contains(const std::string& name) const {
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mu);
-  return i.factories.count(name) > 0;
+  return i.entries.count(name) > 0;
 }
 
 std::vector<std::string> SchedulerRegistry::names() const {
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mu);
   std::vector<std::string> out;
-  out.reserve(i.factories.size());
-  for (const auto& [name, _] : i.factories) out.push_back(name);
+  out.reserve(i.entries.size());
+  for (const auto& [name, _] : i.entries) out.push_back(name);
   return out;  // std::map iteration is already sorted
 }
 
-SchedulerRegistrar::SchedulerRegistrar(const std::string& name,
-                                       SchedulerFactory factory) {
-  SchedulerRegistry::instance().add(name, std::move(factory));
+std::vector<SchedParamDoc> SchedulerRegistry::params(
+    const std::string& name) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.entries.find(name);
+  if (it == i.entries.end()) {
+    throw std::invalid_argument("unknown scheduler: " + name);
+  }
+  return it->second.params;
 }
 
-std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
-  return SchedulerRegistry::instance().make(name);
+SchedulerRegistrar::SchedulerRegistrar(const std::string& name,
+                                       SchedulerFactory factory,
+                                       std::vector<SchedParamDoc> params) {
+  SchedulerRegistry::instance().add(name, std::move(factory),
+                                    std::move(params));
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& spec) {
+  return SchedulerRegistry::instance().make(spec);
 }
 
 std::vector<std::string> known_schedulers() {

@@ -1,7 +1,14 @@
-// Scheduler registry: schedulers are constructed by name through a
+// Scheduler registry: schedulers are constructed by spec string through a
 // process-wide factory table, so the CLI, the sweep engine (src/exp) and
-// the tests stay decoupled from the concrete scheduler headers. Each
-// scheduler's .cc self-registers with CACHESCHED_REGISTER_SCHEDULER; the
+// the tests stay decoupled from the concrete scheduler headers. A spec is
+// either a bare registered name ("pdf") or a parameterized form
+// ("ws:victims=rand,steal=half,seed=7" — grammar in sched/schedspec.h);
+// the registry parses the spec, dispatches on the name and hands the
+// parsed parameters to the scheduler's factory, which validates them
+// strictly. Each scheduler's .cc self-registers with
+// CACHESCHED_REGISTER_SCHEDULER (parameterless policies) or
+// CACHESCHED_REGISTER_SCHEDULER_SPEC (parameterized families, which also
+// declare their accepted keys/defaults for `cachesched_cli list`); the
 // library is linked as a CMake OBJECT library so no registration is
 // dropped by static-archive dead stripping.
 #pragma once
@@ -12,28 +19,49 @@
 #include <vector>
 
 #include "core/scheduler.h"
+#include "sched/schedspec.h"
 
 namespace cachesched {
 
-using SchedulerFactory = std::function<std::unique_ptr<Scheduler>()>;
+using SchedulerFactory =
+    std::function<std::unique_ptr<Scheduler>(const SchedSpec&)>;
+
+/// One accepted parameter of a scheduler family, for discoverability
+/// (`cachesched_cli list` prints these): the key, its default value and a
+/// one-phrase description.
+struct SchedParamDoc {
+  std::string key;
+  std::string def;
+  std::string doc;
+};
 
 class SchedulerRegistry {
  public:
   /// The process-wide registry.
   static SchedulerRegistry& instance();
 
-  /// Registers `factory` under `name`; throws std::invalid_argument if the
-  /// name is already taken (duplicate registrations are always bugs).
-  void add(const std::string& name, SchedulerFactory factory);
+  /// Registers `factory` under `name` with its accepted-parameter table;
+  /// throws std::invalid_argument if the name is already taken (duplicate
+  /// registrations are always bugs).
+  void add(const std::string& name, SchedulerFactory factory,
+           std::vector<SchedParamDoc> params = {});
 
-  /// Constructs a fresh scheduler; throws std::invalid_argument listing
-  /// the known names if `name` is not registered.
-  std::unique_ptr<Scheduler> make(const std::string& name) const;
+  /// Constructs a fresh scheduler from `spec` ("name" or "name:k=v,...").
+  /// Throws std::invalid_argument on a malformed spec, on parameters the
+  /// named scheduler rejects, and on an unknown name — listing the known
+  /// names plus a nearest-name suggestion for typos.
+  std::unique_ptr<Scheduler> make(const std::string& spec) const;
 
+  /// True if `name` (a bare name, not a spec) is registered.
   bool contains(const std::string& name) const;
 
   /// Registered names, sorted.
   std::vector<std::string> names() const;
+
+  /// Accepted parameters of `name`, as registered (empty for
+  /// parameterless schedulers); throws std::invalid_argument for an
+  /// unknown name.
+  std::vector<SchedParamDoc> params(const std::string& name) const;
 
  private:
   SchedulerRegistry() = default;
@@ -42,22 +70,39 @@ class SchedulerRegistry {
 };
 
 /// RAII helper: constructing one registers a factory (used by the
-/// registration macro below from each scheduler's translation unit).
+/// registration macros below from each scheduler's translation unit).
 struct SchedulerRegistrar {
-  SchedulerRegistrar(const std::string& name, SchedulerFactory factory);
+  SchedulerRegistrar(const std::string& name, SchedulerFactory factory,
+                     std::vector<SchedParamDoc> params = {});
 };
 
 /// Convenience wrappers mirroring the registry, kept as free functions
-/// because they predate it (harness/apps.h re-exports them).
-std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
+/// because they predate it (harness/apps.h re-exports them). `spec` is
+/// anything SchedulerRegistry::make accepts.
+std::unique_ptr<Scheduler> make_scheduler(const std::string& spec);
 std::vector<std::string> known_schedulers();
 
 }  // namespace cachesched
 
 /// Registers `Type` (default-constructible Scheduler subclass) as `name`.
-/// Place in the scheduler's .cc file at namespace cachesched scope.
+/// The spec must carry no parameters — any key is rejected. Place in the
+/// scheduler's .cc file at namespace cachesched scope.
 #define CACHESCHED_REGISTER_SCHEDULER(name, Type)                         \
   namespace {                                                             \
   const ::cachesched::SchedulerRegistrar registrar_##Type(                \
-      name, [] { return std::make_unique<Type>(); });                     \
+      name, [](const ::cachesched::SchedSpec& spec) {                     \
+        ::cachesched::SchedParams params(spec, {});                       \
+        (void)params;                                                     \
+        return std::make_unique<Type>();                                  \
+      });                                                                 \
+  }
+
+/// Registers a parameterized scheduler family: `factory` is a callable
+/// taking (const SchedSpec&) and returning std::unique_ptr<Scheduler>;
+/// `...` is a braced initializer list of SchedParamDoc entries declaring
+/// the accepted keys for `cachesched_cli list`.
+#define CACHESCHED_REGISTER_SCHEDULER_SPEC(name, tag, factory, ...)       \
+  namespace {                                                             \
+  const ::cachesched::SchedulerRegistrar registrar_##tag(name, factory,   \
+                                                         __VA_ARGS__);    \
   }

@@ -1,0 +1,147 @@
+#include "sched/schedspec.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace cachesched {
+namespace {
+
+[[noreturn]] void fail_spec(const std::string& spec, const std::string& what) {
+  throw std::invalid_argument("bad scheduler spec \"" + spec + "\": " + what);
+}
+
+}  // namespace
+
+SchedSpec SchedSpec::parse(const std::string& spec) {
+  SchedSpec out;
+  const size_t colon = spec.find(':');
+  out.name = spec.substr(0, colon);
+  if (out.name.empty()) fail_spec(spec, "empty scheduler name");
+  if (colon == std::string::npos) return out;
+
+  const std::string params = spec.substr(colon + 1);
+  std::set<std::string> seen;
+  std::stringstream ss(params);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) fail_spec(spec, "empty parameter (stray comma)");
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      fail_spec(spec, "parameter \"" + item + "\" is not key=value");
+    }
+    const std::string key = item.substr(0, eq);
+    if (!seen.insert(key).second) fail_spec(spec, "duplicate key " + key);
+    out.params.emplace_back(key, item.substr(eq + 1));
+  }
+  if (params.empty() || params.back() == ',') {
+    fail_spec(spec, "empty parameter (stray comma)");
+  }
+  return out;
+}
+
+std::string SchedSpec::str() const {
+  std::string out = name;
+  for (size_t i = 0; i < params.size(); ++i) {
+    out += (i == 0 ? ':' : ',');
+    out += params[i].first;
+    out += '=';
+    out += params[i].second;
+  }
+  return out;
+}
+
+SchedParams::SchedParams(const SchedSpec& spec,
+                         std::initializer_list<const char*> known)
+    : spec_str_(spec.str()), params_(spec.params) {
+  for (const auto& [key, _] : params_) {
+    bool ok = false;
+    for (const char* k : known) ok = ok || key == k;
+    if (!ok) {
+      std::ostringstream os;
+      os << "unknown key \"" << key << "\" for scheduler " << spec.name;
+      if (known.size() == 0) {
+        os << " (it takes no parameters)";
+      } else {
+        os << " (accepted:";
+        for (const char* k : known) os << " " << k;
+        os << ")";
+      }
+      fail(os.str());
+    }
+  }
+}
+
+const std::string* SchedParams::find(const char* key) const {
+  for (const auto& [k, v] : params_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void SchedParams::fail(const std::string& what) const {
+  fail_spec(spec_str_, what);
+}
+
+uint64_t SchedParams::get_u64(const char* key, uint64_t def, uint64_t lo,
+                              uint64_t hi) const {
+  const std::string* val = find(key);
+  if (!val) return def;
+  if (val->empty()) fail(std::string(key) + " has no value");
+  if ((*val)[0] == '-' || (*val)[0] == '+') {
+    // strtoull would silently wrap negatives to huge values.
+    fail(std::string(key) + "=" + *val + " is not a valid unsigned integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const uint64_t v = std::strtoull(val->c_str(), &end, 10);
+  if (errno == ERANGE) fail(std::string(key) + "=" + *val + " overflows");
+  if (!end || *end != '\0' || end == val->c_str()) {
+    fail(std::string(key) + "=" + *val + " is not a valid integer");
+  }
+  if (v < lo || v > hi) {
+    fail(std::string(key) + "=" + *val + " out of range [" +
+         std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+double SchedParams::get_frac(const char* key, double def, double lo,
+                             double hi) const {
+  const std::string* val = find(key);
+  if (!val) return def;
+  if (val->empty()) fail(std::string(key) + " has no value");
+  char* end = nullptr;
+  const double v = std::strtod(val->c_str(), &end);
+  if (!end || *end != '\0' || end == val->c_str() || !std::isfinite(v)) {
+    fail(std::string(key) + "=" + *val + " is not a valid number");
+  }
+  if (v < lo || v > hi) {
+    std::ostringstream os;
+    os << key << "=" << *val << " out of range [" << lo << ", " << hi << "]";
+    fail(os.str());
+  }
+  return v;
+}
+
+size_t SchedParams::get_choice(
+    const char* key, size_t def_index,
+    std::initializer_list<const char*> choices) const {
+  const std::string* val = find(key);
+  if (!val) return def_index;
+  size_t i = 0;
+  for (const char* c : choices) {
+    if (*val == c) return i;
+    ++i;
+  }
+  std::ostringstream os;
+  os << key << "=" << *val << " (known:";
+  for (const char* c : choices) os << " " << c;
+  os << ")";
+  fail(os.str());
+}
+
+}  // namespace cachesched

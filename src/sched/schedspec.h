@@ -1,0 +1,77 @@
+// Scheduler spec strings (the scheduler-side analogue of src/gen/genspec).
+//
+// A scheduler is addressed by a compact spec string
+//
+//   name
+//   name:key=val,key=val,...
+//   e.g. "ws:victims=rand,steal=half,seed=7"
+//
+// naming a registered scheduler family plus its parameter knobs. Specs
+// are accepted everywhere a scheduler name is (make_scheduler, sweep
+// --scheds, cachesched_cli --sched, the golden fixtures), so scheduling
+// policies become a parameter axis of the experiment space exactly like
+// generated workloads.
+//
+// Parsing is strict, mirroring GenSpec: unknown scheduler names, unknown
+// keys, malformed or out-of-range values and duplicate keys are all
+// rejected with a descriptive std::invalid_argument — never silently
+// defaulted (a typo in a sweep spec must fail loudly, not quietly run the
+// default policy). SchedSpec::parse handles the name:params split; each
+// scheduler factory consumes its parameters through SchedParams, which
+// enforces the unknown-key and leftover-key rules uniformly.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cachesched {
+
+/// A parsed scheduler spec: the registry name plus its key=value
+/// parameters in spec order (duplicates already rejected).
+struct SchedSpec {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// Splits "name" or "name:k=v,..." and rejects an empty name, empty
+  /// parameters (stray commas), parameters without '=' and duplicate
+  /// keys. Does not validate the name against the registry — the
+  /// registry does that (and knows the registered names for the error
+  /// message).
+  static SchedSpec parse(const std::string& spec);
+
+  /// Reserializes the spec ("name" when there are no parameters).
+  std::string str() const;
+};
+
+/// Strict parameter consumption for scheduler factories: construct with
+/// the spec and the accepted keys; any parameter outside `known` throws
+/// immediately, listing the accepted keys. The typed getters validate
+/// values the same way GenSpec does (descriptive errors naming the spec,
+/// the key and the valid range/choices).
+class SchedParams {
+ public:
+  SchedParams(const SchedSpec& spec, std::initializer_list<const char*> known);
+
+  /// Unsigned integer in [lo, hi]; `def` when the key is absent.
+  uint64_t get_u64(const char* key, uint64_t def, uint64_t lo,
+                   uint64_t hi) const;
+
+  /// Finite double in [lo, hi]; `def` when the key is absent.
+  double get_frac(const char* key, double def, double lo, double hi) const;
+
+  /// One of `choices`; returns its index, or `def_index` when absent.
+  size_t get_choice(const char* key, size_t def_index,
+                    std::initializer_list<const char*> choices) const;
+
+ private:
+  const std::string* find(const char* key) const;
+  [[noreturn]] void fail(const std::string& what) const;
+
+  std::string spec_str_;  // for error messages
+  std::vector<std::pair<std::string, std::string>> params_;
+};
+
+}  // namespace cachesched

@@ -1,48 +1,65 @@
 #include "sched/ws_scheduler.h"
 
+#include <limits>
+#include <memory>
+
 #include "sched/registry.h"
 
 namespace cachesched {
 
-CACHESCHED_REGISTER_SCHEDULER("ws", WsScheduler)
-
-void WsScheduler::reset(const TaskDag& dag, int num_cores) {
+void WsScheduler::on_reset(const TaskDag& dag, const SchedContext& ctx) {
   (void)dag;
-  deques_.assign(num_cores, {});
-  steals_ = 0;
-}
-
-void WsScheduler::enqueue_ready(int core, std::span<const TaskId> ready) {
-  // Reverse spawn order: first child ends on top.
-  auto& dq = deques_[core];
-  for (size_t i = ready.size(); i-- > 0;) dq.push_back(ready[i]);
-}
-
-TaskId WsScheduler::acquire(int core) {
-  auto& own = deques_[core];
-  if (!own.empty()) {
-    const TaskId t = own.back();  // top
-    own.pop_back();
-    return t;
-  }
-  const int p = static_cast<int>(deques_.size());
-  for (int k = 1; k < p; ++k) {
-    auto& victim = deques_[(core + k) % p];
-    if (!victim.empty()) {
-      const TaskId t = victim.front();  // bottom
-      victim.pop_front();
-      ++steals_;
-      return t;
+  rngs_.clear();
+  if (opt_.victims == Victims::kRand) {
+    rngs_.reserve(ctx.num_cores);
+    for (int c = 0; c < ctx.num_cores; ++c) {
+      // Distinct SplitMix-scrambled stream per core; Xoshiro's seeding
+      // decorrelates the nearby raw seeds.
+      rngs_.emplace_back(opt_.seed * 0x9e3779b97f4a7c15ULL +
+                         static_cast<uint64_t>(c));
     }
   }
-  return kNoTask;
 }
 
-bool WsScheduler::empty() const {
-  for (const auto& dq : deques_) {
-    if (!dq.empty()) return false;
+int WsScheduler::pick_victim(int core) {
+  const int p = num_cores();
+  if (opt_.victims == Victims::kRand && p > 1) {
+    auto& rng = rngs_[core];
+    for (int probe = 0; probe < p - 1; ++probe) {
+      const int r = static_cast<int>(rng.next_below(p - 1));
+      const int v = r >= core ? r + 1 : r;  // uniform over cores != self
+      if (!deque_empty(v)) return v;
+    }
+    // Random probing can miss the one non-empty deque; fall through to
+    // the exhaustive ring scan (the engine treats acquire() failure as
+    // "no work anywhere").
   }
-  return true;
+  for (int k = 1; k < p; ++k) {
+    const int v = (core + k) % p;
+    if (!deque_empty(v)) return v;
+  }
+  return -1;
 }
+
+namespace {
+
+std::unique_ptr<Scheduler> make_ws(const SchedSpec& spec) {
+  SchedParams p(spec, {"victims", "steal", "seed"});
+  WsScheduler::Options opt;
+  opt.victims = static_cast<WsScheduler::Victims>(
+      p.get_choice("victims", 0, {"seq", "rand"}));
+  opt.steal = static_cast<StealingSchedulerBase::Steal>(
+      p.get_choice("steal", 0, {"one", "half"}));
+  opt.seed = p.get_u64("seed", 1, 0, std::numeric_limits<uint64_t>::max());
+  return std::make_unique<WsScheduler>(opt, spec.str());
+}
+
+}  // namespace
+
+CACHESCHED_REGISTER_SCHEDULER_SPEC(
+    "ws", ws, make_ws,
+    {{"victims", "seq", "victim order: seq (ring scan from self+1) or rand"},
+     {"steal", "one", "tasks per steal: one or half (bottom ceil(n/2))"},
+     {"seed", "1", "per-core PRNG seed (victims=rand only)"}})
 
 }  // namespace cachesched

@@ -1,37 +1,50 @@
-// Work Stealing scheduler (paper §3, [Blumofe & Leiserson]).
+// Work Stealing scheduler (paper §3, [Blumofe & Leiserson]), parameterized
+// into the zoo's stealing family:
 //
-// One double-ended queue per core. Newly enabled tasks are pushed on the
-// *top* of the enabling core's deque in reverse spawn order, so the first
-// spawned child is popped first — the depth-first, child-first discipline
-// of Cilk-style work stealing. A core takes work from the top of its own
-// deque; when that is empty it scans the other deques starting at
-// (self+1) mod P and steals from the *bottom* of the first non-empty one
-// (the paper's description, verbatim).
+//   ws                              paper baseline (defaults below)
+//   ws:victims=rand,steal=half,seed=7
+//
+// victims=seq scans the other deques on a ring starting at (self+1) mod P
+// and steals from the first non-empty one — the paper's description,
+// verbatim. victims=rand probes uniformly random victims (the classic
+// randomized work stealing of [Blumofe & Leiserson]) with a deterministic
+// per-core PRNG seeded from (seed, core), falling back to the ring scan
+// after P-1 failed probes so acquire() still finds work whenever any
+// deque is non-empty. steal=one takes the victim's bottom task;
+// steal=half takes the bottom ceil(n/2). The defaults (victims=seq,
+// steal=one) reproduce the pre-zoo "ws" scheduler decision-for-decision,
+// which the golden sim fixtures pin.
 #pragma once
 
-#include <cstdint>
-#include <deque>
+#include <string>
 #include <vector>
 
-#include "core/scheduler.h"
+#include "sched/stealing_base.h"
+#include "util/rng.h"
 
 namespace cachesched {
 
-class WsScheduler final : public Scheduler {
+class WsScheduler final : public StealingSchedulerBase {
  public:
-  void reset(const TaskDag& dag, int num_cores) override;
-  void enqueue_ready(int core, std::span<const TaskId> ready) override;
-  TaskId acquire(int core) override;
-  bool empty() const override;
-  const char* name() const override { return "ws"; }
-  uint64_t steal_count() const override { return steals_; }
+  enum class Victims { kSeq, kRand };
 
-  /// Tasks currently queued on `core`'s deque (diagnostics/tests).
-  size_t deque_size(int core) const { return deques_[core].size(); }
+  struct Options {
+    Victims victims = Victims::kSeq;
+    Steal steal = Steal::kOne;
+    uint64_t seed = 1;  // victims=rand only
+  };
+
+  WsScheduler() : WsScheduler(Options{}, "ws") {}
+  WsScheduler(const Options& opt, std::string label)
+      : StealingSchedulerBase(opt.steal, std::move(label)), opt_(opt) {}
+
+ protected:
+  void on_reset(const TaskDag& dag, const SchedContext& ctx) override;
+  int pick_victim(int core) override;
 
  private:
-  std::vector<std::deque<TaskId>> deques_;
-  uint64_t steals_ = 0;
+  Options opt_;
+  std::vector<Xoshiro256> rngs_;  // one per core; victims=rand only
 };
 
 }  // namespace cachesched

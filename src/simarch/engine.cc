@@ -128,7 +128,12 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
   uint64_t acc_invalidations = 0;
   uint64_t acc_stall = 0;
 
-  sched.reset(dag, P);
+  SchedContext sctx(P);
+  sctx.l1_bytes = cfg.l1_bytes;
+  sctx.l2_bytes = cfg.l2_bytes;
+  sctx.line_bytes = cfg.line_bytes;
+  sctx.l2_banks = cfg.l2_banks;
+  sched.reset(dag, sctx);
   sched.enqueue_ready(0, dag.roots());
 
   auto start_task = [&](int c, TaskId t, uint64_t now) {
@@ -353,6 +358,7 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
 
   auto do_complete = [&](int c, uint64_t t) {
     CoreState& core = cores[c];
+    sched.on_complete(c, core.task);
     ++res.tasks_executed;
     ++completed;
     end_time = std::max(end_time, t);

@@ -611,6 +611,7 @@ void ParallelSim::commit_run_core(int c, uint64_t other_min,
 
 void ParallelSim::do_complete(int c, uint64_t t) {
   CoreState& core = cores_[c];
+  sched_.on_complete(c, core.task);
   ++res_->tasks_executed;
   ++completed_;
   end_time_ = std::max(end_time_, t);
@@ -648,7 +649,12 @@ SimResult ParallelSim::run() {
     indeg_[t] = dag_.task(t).num_parents;
   }
 
-  sched_.reset(dag_, P_);
+  SchedContext sctx(P_);
+  sctx.l1_bytes = cfg_.l1_bytes;
+  sctx.l2_bytes = cfg_.l2_bytes;
+  sctx.line_bytes = cfg_.line_bytes;
+  sctx.l2_banks = cfg_.l2_banks;
+  sched_.reset(dag_, sctx);
   sched_.enqueue_ready(0, dag_.roots());
 
   for (int i = 0; i < P_; ++i) {

@@ -54,10 +54,26 @@ std::string Table::to_string() const {
 
 std::string Table::to_csv() const {
   std::ostringstream os;
+  // RFC 4180: only cells that need it are quoted (commas appear in
+  // parameterized scheduler specs like "ws:steal=half,seed=7"); plain
+  // cells are emitted verbatim so historical CSV outputs stay
+  // byte-identical.
+  auto emit_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (char ch : cell) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  };
   auto emit = [&](const std::vector<std::string>& row) {
     for (size_t c = 0; c < row.size(); ++c) {
       if (c) os << ",";
-      os << row[c];
+      emit_cell(row[c]);
     }
     os << "\n";
   };

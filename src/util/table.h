@@ -23,7 +23,9 @@ class Table {
   /// Renders an aligned ASCII table.
   std::string to_string() const;
 
-  /// Renders CSV (RFC-4180-ish; our cells never contain commas/quotes).
+  /// Renders CSV. Cells containing commas, quotes or newlines (e.g.
+  /// parameterized scheduler specs) are RFC-4180 quoted; all other cells
+  /// are emitted verbatim.
   std::string to_csv() const;
 
   /// Writes CSV to `path` if non-empty; prints the table to stdout.

@@ -122,6 +122,24 @@ const GoldenCase kGolden[] = {
     {"mergesort", "ws", 8, 0.03125, 0, 1000, 4096,
      85158868, 434417424, 26365, 403456, 168694, 734984, 347663, 0,
      223721108, 3225908, 32479410, 1380, 662064376, 734984, 1307134},
+    // Scheduler zoo (PR 8): one spec-parameterized config per new policy
+    // family, recorded from the serial engine at the commit introducing
+    // them. These pin the parameterized stealing paths (randomized
+    // victims + steal-half), the banked-L2 affinity victim order, the
+    // priority keys and the cfb admission throttle — at every
+    // --sim-threads count like every other fixture.
+    {"mergesort", "ws:victims=rand,steal=half,seed=7", 4, 0.03125, 0, 1000, 0,
+     171125023, 436457232, 26365, 115453, 515171, 773790, 337151, 0,
+     233260733, 1123733, 33328230, 25, 676732385, 773790, 1404414},
+    {"mergesort", "aff:steal=half", 8, 0.03125, 8, 1000, 0,
+     85434762, 433016592, 16125, 74181, 457691, 729182, 340324, 0,
+     221652097, 2897497, 32085180, 187, 659213844, 729182, 1261054},
+    {"hashjoin", "prio:key=work,order=max", 8, 0.03125, 0, 1000, 0,
+     54860495, 128150158, 587, 68417, 244103, 969845, 443714, 0,
+     305409942, 14456442, 42406770, 0, 435578191, 969845, 1282365},
+    {"mergesort", "cfb:budget=0.5", 8, 0.03125, 0, 1000, 0,
+     109422135, 433016592, 16125, 71270, 601613, 588171, 320241, 576,
+     177894127, 1442827, 27252360, 0, 619154404, 588171, 1261054},
 };
 
 class GoldenSim
@@ -169,13 +187,18 @@ TEST_P(GoldenSim, MatchesPreOptimizationEngine) {
 std::string case_name(
     const ::testing::TestParamInfo<std::tuple<GoldenCase, int>>& info) {
   const GoldenCase& g = std::get<0>(info.param);
-  // Gen specs contain characters gtest rejects; keep the family name.
-  std::string app(g.app);
-  if (const size_t colon = app.find(':'); colon != std::string::npos) {
-    app = app.substr(0, colon) + "_gen";
-  }
+  // Gen and scheduler specs contain characters gtest rejects; keep the
+  // family name and mark the parameterized form.
+  auto sanitize = [](std::string s, const char* suffix) {
+    if (const size_t colon = s.find(':'); colon != std::string::npos) {
+      s = s.substr(0, colon) + suffix;
+    }
+    return s;
+  };
+  const std::string app = sanitize(g.app, "_gen");
+  const std::string sched = sanitize(g.sched, "_spec");
   std::string n =
-      app + "_" + g.sched + "_" + std::to_string(g.cores) + "c";
+      app + "_" + sched + "_" + std::to_string(g.cores) + "c";
   if (g.l2_banks > 0) n += "_banked";
   if (g.quantum == 0) n += "_q0";
   if (g.scale != 0.03125) n += "_small";

@@ -11,7 +11,7 @@ namespace {
 
 TEST(Registry, BuiltinSchedulersSelfRegister) {
   const auto names = known_schedulers();
-  for (const char* expected : {"fifo", "pdf", "ws"}) {
+  for (const char* expected : {"aff", "cfb", "fifo", "pdf", "prio", "ws"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing builtin scheduler: " << expected;
   }
@@ -26,6 +26,12 @@ TEST(Registry, MakeByNameReturnsMatchingScheduler) {
   EXPECT_STREQ(make_scheduler("pdf")->name(), "pdf");
   EXPECT_STREQ(make_scheduler("ws")->name(), "ws");
   EXPECT_STREQ(make_scheduler("fifo")->name(), "fifo");
+}
+
+TEST(Registry, MakeBySpecReportsCanonicalSpecAsName) {
+  EXPECT_STREQ(make_scheduler("ws:steal=half")->name(), "ws:steal=half");
+  EXPECT_STREQ(make_scheduler("prio:key=work,order=max")->name(),
+               "prio:key=work,order=max");
 }
 
 TEST(Registry, MakeReturnsFreshInstances) {
@@ -47,6 +53,33 @@ TEST(Registry, UnknownNameThrowsListingKnownNames) {
   }
 }
 
+TEST(Registry, UnknownNameSuggestsNearestRegisteredName) {
+  try {
+    make_scheduler("pdr");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("did you mean pdf?"), std::string::npos) << msg;
+  }
+}
+
+TEST(Registry, UnknownParameterKeyThrows) {
+  EXPECT_THROW(make_scheduler("ws:steel=half"), std::invalid_argument);
+  EXPECT_THROW(make_scheduler("pdf:anything=1"), std::invalid_argument);
+}
+
+TEST(Registry, ParamsAccessorDocumentsAcceptedKeys) {
+  const auto ws = SchedulerRegistry::instance().params("ws");
+  ASSERT_EQ(ws.size(), 3u);
+  EXPECT_EQ(ws[0].key, "victims");
+  EXPECT_EQ(ws[0].def, "seq");
+  EXPECT_EQ(ws[1].key, "steal");
+  EXPECT_EQ(ws[2].key, "seed");
+  EXPECT_TRUE(SchedulerRegistry::instance().params("pdf").empty());
+  EXPECT_THROW(SchedulerRegistry::instance().params("nope"),
+               std::invalid_argument);
+}
+
 TEST(Registry, ContainsOnlyRegisteredNames) {
   auto& reg = SchedulerRegistry::instance();
   EXPECT_TRUE(reg.contains("pdf"));
@@ -54,7 +87,7 @@ TEST(Registry, ContainsOnlyRegisteredNames) {
 }
 
 TEST(Registry, CustomRegistrationIsVisibleThroughLookup) {
-  SchedulerRegistrar reg("test-fifo-variant", [] {
+  SchedulerRegistrar reg("test-fifo-variant", [](const SchedSpec&) {
     return std::make_unique<CentralFifoScheduler>();
   });
   EXPECT_TRUE(SchedulerRegistry::instance().contains("test-fifo-variant"));
@@ -62,16 +95,26 @@ TEST(Registry, CustomRegistrationIsVisibleThroughLookup) {
 }
 
 TEST(Registry, DuplicateRegistrationThrows) {
-  EXPECT_THROW(SchedulerRegistry::instance().add(
-                   "pdf", [] { return make_scheduler("pdf"); }),
-               std::invalid_argument);
+  EXPECT_THROW(
+      SchedulerRegistry::instance().add(
+          "pdf", [](const SchedSpec&) { return make_scheduler("pdf"); }),
+      std::invalid_argument);
 }
 
 TEST(Registry, EmptyNameOrFactoryRejected) {
-  EXPECT_THROW(SchedulerRegistry::instance().add(
-                   "", [] { return make_scheduler("pdf"); }),
-               std::invalid_argument);
+  EXPECT_THROW(
+      SchedulerRegistry::instance().add(
+          "", [](const SchedSpec&) { return make_scheduler("pdf"); }),
+      std::invalid_argument);
   EXPECT_THROW(SchedulerRegistry::instance().add("valid-name", nullptr),
+               std::invalid_argument);
+}
+
+TEST(Registry, NamesWithSpecDelimitersRejected) {
+  auto factory = [](const SchedSpec&) { return make_scheduler("pdf"); };
+  EXPECT_THROW(SchedulerRegistry::instance().add("bad:name", factory),
+               std::invalid_argument);
+  EXPECT_THROW(SchedulerRegistry::instance().add("bad,name", factory),
                std::invalid_argument);
 }
 

@@ -1,0 +1,151 @@
+// SchedSpec grammar strictness: the scheduler-side analogue of
+// genspec_test. A typo'd spec must throw a descriptive
+// std::invalid_argument, never silently run a default policy.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "sched/schedspec.h"
+
+namespace cachesched {
+namespace {
+
+std::string error_of(const std::string& spec) {
+  try {
+    SchedSpec::parse(spec);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(SchedSpec, BareNameParses) {
+  const SchedSpec s = SchedSpec::parse("pdf");
+  EXPECT_EQ(s.name, "pdf");
+  EXPECT_TRUE(s.params.empty());
+  EXPECT_EQ(s.str(), "pdf");
+}
+
+TEST(SchedSpec, ParametersParseInSpecOrder) {
+  const SchedSpec s = SchedSpec::parse("ws:victims=rand,steal=half,seed=7");
+  EXPECT_EQ(s.name, "ws");
+  ASSERT_EQ(s.params.size(), 3u);
+  EXPECT_EQ(s.params[0], (std::pair<std::string, std::string>{"victims",
+                                                              "rand"}));
+  EXPECT_EQ(s.params[1], (std::pair<std::string, std::string>{"steal",
+                                                              "half"}));
+  EXPECT_EQ(s.params[2], (std::pair<std::string, std::string>{"seed", "7"}));
+  EXPECT_EQ(s.str(), "ws:victims=rand,steal=half,seed=7");
+}
+
+TEST(SchedSpec, MalformedSpecsThrowDescriptively) {
+  EXPECT_NE(error_of("").find("empty scheduler name"), std::string::npos);
+  EXPECT_NE(error_of(":steal=half").find("empty scheduler name"),
+            std::string::npos);
+  EXPECT_NE(error_of("ws:").find("stray comma"), std::string::npos);
+  EXPECT_NE(error_of("ws:steal=half,").find("stray comma"),
+            std::string::npos);
+  EXPECT_NE(error_of("ws:steal=half,,seed=1").find("stray comma"),
+            std::string::npos);
+  EXPECT_NE(error_of("ws:steal").find("not key=value"), std::string::npos);
+  EXPECT_NE(error_of("ws:=half").find("not key=value"), std::string::npos);
+  EXPECT_NE(error_of("ws:steal=one,steal=half").find("duplicate key steal"),
+            std::string::npos);
+}
+
+TEST(SchedSpec, EmptyValueIsRepresentable) {
+  // "key=" parses to an empty value; the typed getters reject it.
+  const SchedSpec s = SchedSpec::parse("ws:seed=");
+  ASSERT_EQ(s.params.size(), 1u);
+  EXPECT_EQ(s.params[0].second, "");
+  SchedParams p(s, {"seed"});
+  EXPECT_THROW(p.get_u64("seed", 1, 0, 100), std::invalid_argument);
+}
+
+TEST(SchedParams, UnknownKeyThrowsListingAccepted) {
+  const SchedSpec s = SchedSpec::parse("ws:steel=half");
+  try {
+    SchedParams p(s, {"victims", "steal", "seed"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown key \"steel\""), std::string::npos) << msg;
+    EXPECT_NE(msg.find("victims"), std::string::npos) << msg;
+  }
+}
+
+TEST(SchedParams, ParameterlessSchedulerRejectsAnyKey) {
+  const SchedSpec s = SchedSpec::parse("pdf:x=1");
+  try {
+    SchedParams p(s, {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("takes no parameters"),
+              std::string::npos);
+  }
+}
+
+TEST(SchedParams, U64ValidatesFormatAndRange) {
+  auto with = [](const std::string& v) {
+    return SchedSpec::parse("s:k=" + v);
+  };
+  const auto max = std::numeric_limits<uint64_t>::max();
+  EXPECT_EQ(SchedParams(with("42"), {"k"}).get_u64("k", 0, 0, 100), 42u);
+  EXPECT_EQ(SchedParams(SchedSpec::parse("s"), {"k"}).get_u64("k", 7, 0, 100),
+            7u);
+  EXPECT_THROW(SchedParams(with("-1"), {"k"}).get_u64("k", 0, 0, max),
+               std::invalid_argument);
+  EXPECT_THROW(SchedParams(with("+1"), {"k"}).get_u64("k", 0, 0, max),
+               std::invalid_argument);
+  EXPECT_THROW(SchedParams(with("4x"), {"k"}).get_u64("k", 0, 0, max),
+               std::invalid_argument);
+  EXPECT_THROW(SchedParams(with("99999999999999999999999"), {"k"})
+                   .get_u64("k", 0, 0, max),
+               std::invalid_argument);
+  EXPECT_THROW(SchedParams(with("101"), {"k"}).get_u64("k", 0, 0, 100),
+               std::invalid_argument);
+}
+
+TEST(SchedParams, FracValidatesFormatAndRange) {
+  auto with = [](const std::string& v) {
+    return SchedSpec::parse("s:k=" + v);
+  };
+  EXPECT_DOUBLE_EQ(SchedParams(with("0.5"), {"k"}).get_frac("k", 1, 0, 1),
+                   0.5);
+  EXPECT_DOUBLE_EQ(
+      SchedParams(SchedSpec::parse("s"), {"k"}).get_frac("k", 0.25, 0, 1),
+      0.25);
+  EXPECT_THROW(SchedParams(with("lots"), {"k"}).get_frac("k", 1, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(SchedParams(with("inf"), {"k"}).get_frac("k", 1, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(SchedParams(with("nan"), {"k"}).get_frac("k", 1, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(SchedParams(with("1.5"), {"k"}).get_frac("k", 1, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(SchedParams, ChoiceValidatesAgainstKnownValues) {
+  auto with = [](const std::string& v) {
+    return SchedSpec::parse("s:k=" + v);
+  };
+  EXPECT_EQ(SchedParams(with("half"), {"k"})
+                .get_choice("k", 0, {"one", "half"}),
+            1u);
+  EXPECT_EQ(SchedParams(SchedSpec::parse("s"), {"k"})
+                .get_choice("k", 1, {"one", "half"}),
+            1u);
+  try {
+    SchedParams(with("quarter"), {"k"}).get_choice("k", 0, {"one", "half"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("k=quarter"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("one half"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace cachesched

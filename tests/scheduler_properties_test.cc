@@ -3,13 +3,30 @@
 // benchmark — the safety net under all the figure-level results.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "harness/apps.h"
+#include "sched/registry.h"
 #include "simarch/engine.h"
 
 namespace cachesched {
 namespace {
+
+/// Every registered scheduler family by its bare name — enumerated from
+/// the registry, not hand-listed, so a newly registered policy is under
+/// the invariants automatically — plus one parameterized variant per
+/// zoo knob, exercising the non-default code paths.
+std::vector<std::string> all_sched_specs() {
+  std::vector<std::string> specs = known_schedulers();
+  for (const char* v :
+       {"ws:victims=rand,seed=3", "ws:steal=half", "aff:steal=half",
+        "prio:key=depth,order=max", "prio:key=ws", "cfb:budget=0.25"}) {
+    specs.push_back(v);
+  }
+  return specs;
+}
 
 using Param = std::tuple<std::string /*app*/, int /*cores*/>;
 
@@ -32,7 +49,7 @@ class SchedulerProperties : public ::testing::TestWithParam<Param> {
 
 TEST_P(SchedulerProperties, AllSchedulersExecuteEveryTaskOnce) {
   const Workload w = workload();
-  for (const char* sched : {"pdf", "ws", "fifo"}) {
+  for (const std::string& sched : all_sched_specs()) {
     const SimResult r = simulate_app(w, config(), sched);
     EXPECT_EQ(r.tasks_executed, w.dag.num_tasks()) << sched;
   }
@@ -42,20 +59,24 @@ TEST_P(SchedulerProperties, InstructionAndRefCountsSchedulerInvariant) {
   // Scheduling changes *timing* and *hit rates*, never the work done.
   const Workload w = workload();
   const SimResult pdf = simulate_app(w, config(), "pdf");
-  const SimResult ws = simulate_app(w, config(), "ws");
-  EXPECT_EQ(pdf.instructions, ws.instructions);
-  EXPECT_EQ(pdf.total_refs(), ws.total_refs());
   EXPECT_EQ(pdf.instructions, w.dag.total_work());
   EXPECT_EQ(pdf.total_refs(), w.dag.total_refs());
+  for (const std::string& sched : all_sched_specs()) {
+    const SimResult r = simulate_app(w, config(), sched);
+    EXPECT_EQ(pdf.instructions, r.instructions) << sched;
+    EXPECT_EQ(pdf.total_refs(), r.total_refs()) << sched;
+  }
 }
 
 TEST_P(SchedulerProperties, RunsAreDeterministic) {
   const Workload w = workload();
-  const SimResult a = simulate_app(w, config(), "ws");
-  const SimResult b = simulate_app(w, config(), "ws");
-  EXPECT_EQ(a.cycles, b.cycles);
-  EXPECT_EQ(a.l2_misses, b.l2_misses);
-  EXPECT_EQ(a.steals, b.steals);
+  for (const std::string& sched : all_sched_specs()) {
+    const SimResult a = simulate_app(w, config(), sched);
+    const SimResult b = simulate_app(w, config(), sched);
+    EXPECT_EQ(a.cycles, b.cycles) << sched;
+    EXPECT_EQ(a.l2_misses, b.l2_misses) << sched;
+    EXPECT_EQ(a.steals, b.steals) << sched;
+  }
 }
 
 TEST_P(SchedulerProperties, ParallelTimeBoundedByWorkAndSpan) {
@@ -71,7 +92,7 @@ TEST_P(SchedulerProperties, ParallelTimeBoundedByWorkAndSpan) {
 
 TEST_P(SchedulerProperties, MissesBoundedByRefsAndColdFloor) {
   const Workload w = workload();
-  for (const char* sched : {"pdf", "ws"}) {
+  for (const std::string& sched : all_sched_specs()) {
     const SimResult r = simulate_app(w, config(), sched);
     EXPECT_LE(r.l2_misses, r.total_refs()) << sched;
     // At least the distinct footprint must miss once.

@@ -94,6 +94,26 @@ TEST(StoreKeyTest, DeterministicAndSensitiveToIdentity) {
   EXPECT_NE(store_key(j)->repr, k1->repr);
 }
 
+TEST(StoreKeyTest, SchedulerSpecParametersAreDistinctIdentities) {
+  // A parameterized scheduler spec is part of the job identity exactly
+  // like a workload spec: `--store` must never conflate ws:steal=one
+  // with ws:steal=half, or a spec with its own default-equivalent bare
+  // name (the key is the string, not the policy it denotes).
+  SweepJob job = expand(small_spec())[0];
+  job.sched = "ws:steal=one";
+  const auto one = store_key(job);
+  job.sched = "ws:steal=half";
+  const auto half = store_key(job);
+  job.sched = "ws";
+  const auto bare = store_key(job);
+  ASSERT_TRUE(one && half && bare);
+  EXPECT_NE(one->repr, half->repr);
+  EXPECT_NE(one->repr, bare->repr);
+  EXPECT_NE(half->repr, bare->repr);
+  job.sched = "ws:steal=half";
+  EXPECT_EQ(store_key(job)->repr, half->repr);  // stable for equal specs
+}
+
 TEST(StoreKeyTest, FactoryJobsHaveNoIdentity) {
   SweepJob job = expand(small_spec())[0];
   job.factory = [](const CmpConfig& cfg, const AppOptions& o) {

@@ -37,7 +37,10 @@
 //
 // Everywhere an app name is accepted (--app, --apps), a synthetic
 // generator spec like "dnc:depth=8,fanout=4,ws=64K,share=0.3" works too
-// (grammar: src/gen/genspec.h; `list` prints the families).
+// (grammar: src/gen/genspec.h; `list` prints the families). Scheduler
+// names (--sched, --scheds) take the same spec-string form, e.g.
+// "ws:victims=rand,steal=half,seed=7" (grammar: src/sched/schedspec.h;
+// `list` prints each scheduler's keys and defaults).
 //
 // The timing-override flags (--l2-hit, --mem-latency, --banks,
 // --dispatch, --quantum) are parsed once into a ConfigOverrides
@@ -59,6 +62,7 @@
 #include "exp/sweep.h"
 #include "harness/apps.h"
 #include "harness/workload_registry.h"
+#include "sched/registry.h"
 #include "perf/suite.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -102,13 +106,25 @@ CmpConfig config_from_args(const CliArgs& args) {
 }
 
 std::vector<std::string> sched_list(const CliArgs& args) {
-  std::vector<std::string> out;
-  std::stringstream ss(args.get("sched", "pdf,ws"));
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(item);
+  // split_workload_list keeps parameterized specs with embedded commas
+  // ("ws:victims=rand,steal=half") whole, same as for generator specs.
+  return split_workload_list(args.get("sched", "pdf,ws"));
+}
+
+/// Validates scheduler specs up front — before any workload build or
+/// sweep — so an unknown name or bad parameter exits 2 (like unknown
+/// flags) with the registry's nearest-name hint instead of throwing out
+/// of the middle of a run.
+int check_scheds(const std::vector<std::string>& scheds) {
+  for (const auto& spec : scheds) {
+    try {
+      (void)make_scheduler(spec);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "cachesched_cli: " << e.what() << "\n";
+      return 2;
+    }
   }
-  return out;
+  return 0;
 }
 
 /// --sim-threads: 0 = flag absent, leave the simulator default
@@ -150,10 +166,12 @@ int cmd_run(const CliArgs& args) {
   opt.scale = args.get_double("scale", 0.125);
   opt.mergesort_task_ws = static_cast<uint64_t>(args.get_int("task-ws", 0));
   opt.fine_grained = args.get_bool("fine-grained", true);
+  const std::vector<std::string> scheds = sched_list(args);
+  if (const int rc = check_scheds(scheds)) return rc;
   const Workload w = make_workload(args.get("app", "mergesort"), cfg, opt);
   std::cout << w.name << ": " << w.params << " (" << w.dag.num_tasks()
             << " tasks, " << w.dag.total_refs() << " refs)\n";
-  report(w.dag, cfg, sched_list(args), overrides_from_args(args).quantum_cycles,
+  report(w.dag, cfg, scheds, overrides_from_args(args).quantum_cycles,
          sim_threads_from_args(args));
   return 0;
 }
@@ -180,10 +198,12 @@ int cmd_replay(const CliArgs& args) {
     std::cerr << "replay: --dag=FILE required\n";
     return 2;
   }
+  const std::vector<std::string> scheds = sched_list(args);
+  if (const int rc = check_scheds(scheds)) return rc;
   const TaskDag dag = load_dag(path);
   std::cout << "loaded " << dag.num_tasks() << " tasks / " << dag.total_refs()
             << " refs from " << path << "\n";
-  report(dag, config_from_args(args), sched_list(args),
+  report(dag, config_from_args(args), scheds,
          overrides_from_args(args).quantum_cycles, sim_threads_from_args(args));
   return 0;
 }
@@ -196,7 +216,7 @@ SweepSpec spec_from_args(const CliArgs& args) {
   // split_workload_list keeps generator specs with embedded commas whole.
   spec.apps = split_workload_list(args.get("apps", "mergesort,hashjoin,lu"));
   if (spec.apps.size() == 1 && spec.apps[0] == "all") spec.apps = known_apps();
-  spec.scheds = args.get_list("scheds", "pdf,ws");
+  spec.scheds = split_workload_list(args.get("scheds", "pdf,ws"));
   if (args.get("cores", "") == "all") {
     spec.core_counts.clear();  // every configuration of the tech table
   } else {
@@ -215,6 +235,7 @@ SweepSpec spec_from_args(const CliArgs& args) {
 
 int cmd_sweep(const CliArgs& args) {
   SweepSpec spec = spec_from_args(args);
+  if (const int rc = check_scheds(spec.scheds)) return rc;
 
   SweepOptions opt;
   opt.workers = static_cast<int>(args.get_int("jobs", 0));
@@ -302,6 +323,7 @@ int cmd_sweep(const CliArgs& args) {
 /// a single-process run of the same matrix.
 int cmd_sweep_merge(const CliArgs& args) {
   const SweepSpec spec = spec_from_args(args);
+  if (const int rc = check_scheds(spec.scheds)) return rc;
   const std::string csv = args.get("csv", "");
   const std::string json = args.get("json", "");
   const std::string store_dir = args.get("store", "");
@@ -395,8 +417,20 @@ int cmd_perf(const CliArgs& args) {
 }
 
 int cmd_list() {
-  std::cout << "schedulers:\n";
-  for (const auto& name : known_schedulers()) std::cout << "  " << name << "\n";
+  std::cout << "schedulers (spec grammar: name[:key=val,...]):\n";
+  Table s({"name", "param", "default", "description"});
+  for (const auto& name : known_schedulers()) {  // sorted by the registry
+    const auto params = SchedulerRegistry::instance().params(name);
+    if (params.empty()) {
+      s.add_row({name, "-", "-", "(no parameters)"});
+      continue;
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+      s.add_row({i == 0 ? name : "", params[i].key, params[i].def,
+                 params[i].doc});
+    }
+  }
+  s.emit();
   std::cout << "\nworkloads:\n";
   Table t({"name", "kind"});
   for (const auto& [name, kind] : WorkloadRegistry::instance().entries()) {
