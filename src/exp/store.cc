@@ -1,5 +1,9 @@
 #include "exp/store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -8,6 +12,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "robust/errors.h"
+#include "robust/faultinject.h"
 #include "simarch/config.h"
 
 namespace cachesched {
@@ -271,6 +277,27 @@ ResultStore::ResultStore(std::string dir)
     throw std::runtime_error("result store: cannot create directory " + dir_ +
                              (ec ? ": " + ec.message() : ""));
   }
+  // SALT marker: which engine salt last wrote this directory. Entries
+  // self-identify (their header carries the salt), so the marker exists
+  // purely to let tooling explain a full re-simulation up front instead
+  // of rejecting entries one by one. Rewritten atomically on open;
+  // concurrent shard opens race benignly (all write the same content).
+  const fs::path salt_path = fs::path(dir_) / "SALT";
+  {
+    std::ifstream f(salt_path);
+    if (f) std::getline(f, previous_salt_);
+  }
+  if (previous_salt_ != kStoreEngineSalt) {
+    std::ostringstream tmp_name;
+    tmp_name << "SALT.tmp-" << reinterpret_cast<uintptr_t>(impl_.get());
+    const fs::path tmp_path = fs::path(dir_) / tmp_name.str();
+    std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
+    if (f && (f << kStoreEngineSalt << '\n') && f.flush()) {
+      f.close();
+      fs::rename(tmp_path, salt_path, ec);
+    }
+    if (ec) fs::remove(tmp_path, ec);  // marker is advisory; don't fail open
+  }
 }
 
 std::string ResultStore::path_for(const StoreKey& key) const {
@@ -298,6 +325,12 @@ bool ResultStore::load(const StoreKey& key, SweepRecord* rec) {
     os << f.rdbuf();
     text = os.str();
   }
+  // Injected torn read: observe the entry as if a concurrent crash left
+  // only a prefix — the checksum rejects it and the caller re-simulates
+  // (fail-soft, same as a real truncated file).
+  if (robust::fault_point(robust::FaultSite::kStoreReadTorn)) {
+    text.resize(text.size() / 2);
+  }
   std::string why;
   if (!parse_entry(text, key, rec, &why)) {
     std::fprintf(stderr,
@@ -313,15 +346,67 @@ bool ResultStore::load(const StoreKey& key, SweepRecord* rec) {
   return true;
 }
 
+namespace {
+
+/// Writes `text` to `path` and fsyncs it — the durable half of the
+/// atomic tmp+fsync+rename protocol. Failures (and the store.write.short
+/// injection site, which tears the payload in half and skips the fsync,
+/// exactly the on-disk state a power loss mid-write leaves) throw
+/// robust::TransientError; a torn temp file is left behind for the next
+/// retry/crash-recovery path to ignore, never renamed into place.
+void write_tmp_durable(const std::string& path, const std::string& text) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw robust::TransientError("result store: cannot open " + path);
+  }
+  size_t want = text.size();
+  const bool torn =
+      robust::fault_point(robust::FaultSite::kStoreWriteShort);
+  if (torn) want /= 2;
+  size_t off = 0;
+  while (off < want) {
+    const ssize_t n = ::write(fd, text.data() + off, want - off);
+    if (n < 0) {
+      ::close(fd);
+      throw robust::TransientError("result store: cannot write " + path);
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (!torn && ::fsync(fd) != 0) {
+    ::close(fd);
+    throw robust::TransientError("result store: fsync failed on " + path);
+  }
+  ::close(fd);
+  if (torn) {
+    throw robust::TransientError(
+        "result store: injected short write on " + path +
+        " (torn temp file left behind)");
+  }
+}
+
+/// Makes the rename of an entry into `dir` durable. Best-effort: some
+/// filesystems refuse directory fsync; the entry data itself is already
+/// synced, so a failure here only risks losing the *name*, which the
+/// sweep recovers from as a miss.
+void fsync_dir(const fs::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
 void ResultStore::put(const StoreKey& key, const SweepRecord& rec) {
   const std::string text = serialize_entry(key, rec);
   const fs::path final_path = path_for(key);
   std::error_code ec;
   fs::create_directories(final_path.parent_path(), ec);
   if (ec) {
-    throw std::runtime_error("result store: cannot create " +
-                             final_path.parent_path().string() + ": " +
-                             ec.message());
+    throw robust::TransientError("result store: cannot create " +
+                                 final_path.parent_path().string() + ": " +
+                                 ec.message());
   }
   // Unique temp name: the (store address, sequence) pair distinguishes
   // writes within a process, and the key hex distinguishes concurrent
@@ -332,19 +417,20 @@ void ResultStore::put(const StoreKey& key, const SweepRecord& rec) {
   tmp_name << "tmp-" << reinterpret_cast<uintptr_t>(impl_.get()) << '-'
            << impl_->tmp_seq.fetch_add(1) << '-' << key.hex();
   const fs::path tmp_path = fs::path(dir_) / tmp_name.str();
-  {
-    std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!f || !(f << text) || !f.flush()) {
-      throw std::runtime_error("result store: cannot write " +
-                               tmp_path.string());
-    }
+  write_tmp_durable(tmp_path.string(), text);
+  if (robust::fault_point(robust::FaultSite::kStoreRenameFail)) {
+    fs::remove(tmp_path, ec);
+    throw robust::TransientError(
+        "result store: injected rename failure into " + final_path.string());
   }
   fs::rename(tmp_path, final_path, ec);
   if (ec) {
+    const std::string why = ec.message();
     fs::remove(tmp_path, ec);
-    throw std::runtime_error("result store: cannot rename into " +
-                             final_path.string() + ": " + ec.message());
+    throw robust::TransientError("result store: cannot rename into " +
+                                 final_path.string() + ": " + why);
   }
+  fsync_dir(final_path.parent_path());
   std::lock_guard<std::mutex> lock(impl_->mu);
   ++impl_->stats.puts;
 }
@@ -390,25 +476,44 @@ std::vector<SweepJob> shard_jobs(const std::vector<SweepJob>& jobs, size_t i,
 }
 
 SweepResults load_all(ResultStore& store, const std::vector<SweepJob>& jobs) {
-  std::vector<SweepRecord> records(jobs.size());
-  size_t missing = 0;
+  return load_all(store, jobs, /*allow_holes=*/false, nullptr);
+}
+
+SweepResults load_all(ResultStore& store, const std::vector<SweepJob>& jobs,
+                      bool allow_holes, std::vector<MergeHole>* holes) {
+  std::vector<SweepRecord> records;
+  records.reserve(jobs.size());
+  std::vector<MergeHole> missing;
   for (size_t i = 0; i < jobs.size(); ++i) {
     const std::optional<StoreKey> key = store_key(jobs[i]);
     SweepRecord rec;
     if (!key || !store.load(*key, &rec)) {
-      ++missing;
+      missing.push_back({i, jobs[i].key()});
       continue;
     }
     rec.job = jobs[i];
     rec.job.factory = nullptr;
-    records[i] = std::move(rec);
+    records.push_back(std::move(rec));
   }
-  if (missing) {
-    throw std::runtime_error(
-        "result store: " + std::to_string(missing) + " of " +
-        std::to_string(jobs.size()) + " jobs have no stored record in " +
-        store.dir() + " (incomplete shards? stale salt?)");
+  if (!missing.empty() && !allow_holes) {
+    // Name the holes explicitly (capped): "which jobs" is the question an
+    // operator actually has after a quarantined or interrupted sweep.
+    std::ostringstream os;
+    os << "result store: " << missing.size() << " of " << jobs.size()
+       << " jobs have no stored record in " << store.dir()
+       << " (incomplete shards? quarantined jobs? stale salt?):";
+    const size_t show = std::min<size_t>(missing.size(), 8);
+    for (size_t i = 0; i < show; ++i) {
+      const JobKey& k = missing[i].key;
+      os << "\n  job " << missing[i].index << ": " << k.app << "/" << k.sched
+         << "/cores=" << k.cores << (k.tag.empty() ? "" : "/" + k.tag);
+    }
+    if (missing.size() > show) {
+      os << "\n  ... and " << missing.size() - show << " more";
+    }
+    throw std::runtime_error(os.str());
   }
+  if (holes != nullptr) *holes = std::move(missing);
   return SweepResults(std::move(records));
 }
 

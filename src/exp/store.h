@@ -21,12 +21,19 @@
 // on load, so a hash collision degrades to a miss instead of returning
 // the wrong job's result), the record payload, and a trailing FNV-1a
 // checksum over everything above it. Writes go to a unique temp file in
-// DIR and are renamed into place, so concurrent writers (sweep workers,
-// shard processes sharing one store) and interrupted sweeps never leave
-// a partially-written entry under a final name. Loads treat truncated,
-// corrupted, wrong-version and wrong-salt entries as misses (counted in
+// DIR — fsync'd before the rename, with the directory fsync'd after, so
+// an entry under a final name survives power loss (POSIX
+// crash-consistency), not just process death — and are renamed into
+// place, so concurrent writers (sweep workers, shard processes sharing
+// one store) and interrupted sweeps never leave a partially-written
+// entry under a final name. Loads treat truncated, corrupted,
+// wrong-version and wrong-salt entries as misses (counted in
 // Stats::corrupt) and the sweep transparently re-simulates and rewrites
-// them.
+// them. put() failures (real I/O errors and the robust/ injection sites
+// store.write.short / store.rename.fail) throw robust::TransientError,
+// which the sweep engine's bounded retry understands; the torn temp file
+// of a short write is left behind exactly as a crash would leave it and
+// is invisible under the final name.
 //
 // Invalidation rule: any change that alters simulation results —
 // engine timing, scheduler behavior, workload generation — must bump
@@ -100,9 +107,11 @@ class ResultStore {
   /// stderr. Thread-safe.
   bool load(const StoreKey& key, SweepRecord* rec);
 
-  /// Atomically persists `rec` under `key` (temp file + rename; last
-  /// writer wins, which is safe because equal keys imply equal records).
-  /// Thread-safe.
+  /// Atomically and durably persists `rec` under `key` (temp file +
+  /// fsync + rename + directory fsync; last writer wins, which is safe
+  /// because equal keys imply equal records). Throws
+  /// robust::TransientError on write/rename failure — retryable, the
+  /// entry is simply absent. Thread-safe.
   void put(const StoreKey& key, const SweepRecord& rec);
 
   /// True if an entry file exists for `key` (no validation).
@@ -113,6 +122,20 @@ class ResultStore {
 
   const std::string& dir() const { return dir_; }
 
+  /// The engine salt recorded in the directory's SALT marker when this
+  /// store was opened (empty for a freshly created store). The marker is
+  /// rewritten to kStoreEngineSalt on open, so a mismatch is only
+  /// observable through this accessor — the CLI uses it to warn that
+  /// --resume will re-simulate everything (see salt_mismatch()).
+  const std::string& previous_salt() const { return previous_salt_; }
+
+  /// True if the store directory was last written by a different engine
+  /// salt: every existing entry will be rejected and re-simulated (the
+  /// invalidation rule in the file comment).
+  bool salt_mismatch() const {
+    return !previous_salt_.empty() && previous_salt_ != kStoreEngineSalt;
+  }
+
   /// Hit/miss/corrupt/put counters since construction. Not synchronized
   /// with concurrent load/put calls — read after the sweep drains.
   Stats stats() const;
@@ -120,6 +143,7 @@ class ResultStore {
  private:
   struct Impl;
   std::string dir_;
+  std::string previous_salt_;
   std::shared_ptr<Impl> impl_;
 };
 
@@ -134,11 +158,25 @@ std::pair<size_t, size_t> parse_shard(const std::string& s);
 std::vector<SweepJob> shard_jobs(const std::vector<SweepJob>& jobs, size_t i,
                                  size_t n);
 
+/// A job absent from the store during load_all — a quarantined job, an
+/// unfinished shard, or a stale-salt entry.
+struct MergeHole {
+  size_t index = 0;  // position in the expanded job matrix
+  JobKey key;
+};
+
 /// Assembles a full job matrix entirely from the store, in job order —
-/// the merge step after sharded sweeps. Throws std::runtime_error naming
-/// the number of missing/rejected jobs if any record is absent (e.g. a
-/// shard has not finished). Factory jobs are not loadable and count as
-/// missing.
+/// the merge step after sharded sweeps. Throws std::runtime_error
+/// listing the missing JobKeys if any record is absent (e.g. a shard
+/// has not finished, or a job was quarantined). Factory jobs are not
+/// loadable and count as missing.
 SweepResults load_all(ResultStore& store, const std::vector<SweepJob>& jobs);
+
+/// Hole-tolerant overload: with allow_holes, missing jobs are reported
+/// through *holes (may be null) and the result contains the found
+/// records only, in job order. With allow_holes == false behaves like
+/// the two-argument form.
+SweepResults load_all(ResultStore& store, const std::vector<SweepJob>& jobs,
+                      bool allow_holes, std::vector<MergeHole>* holes);
 
 }  // namespace cachesched

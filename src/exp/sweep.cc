@@ -1,7 +1,9 @@
 #include "exp/sweep.h"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <exception>
 #include <fstream>
 #include <memory>
@@ -13,6 +15,9 @@
 
 #include "exp/store.h"
 #include "harness/workload_registry.h"
+#include "robust/errors.h"
+#include "robust/faultinject.h"
+#include "robust/guard.h"
 #include "util/json.h"
 
 namespace cachesched {
@@ -46,6 +51,12 @@ std::vector<CmpConfig> configs_for(const SweepSpec& spec, double scale) {
 }
 
 Workload build_one(const SweepJob& job) {
+  // Injection site: workload construction is the sweep's only large
+  // allocation burst, so this is where memory pressure strikes first.
+  if (robust::fault_point(robust::FaultSite::kAllocWorkloadBuild)) {
+    throw robust::TransientError(
+        "injected workload-build allocation failure (" + job.app + ")");
+  }
   return job.factory ? job.factory(job.config, job.opt)
                      : make_workload(job.app, job.config, job.opt);
 }
@@ -95,7 +106,8 @@ WorkloadKey workload_key(const SweepJob& job) {
 
 namespace {
 
-SweepRecord run_one(const SweepJob& job, const Workload& w, int sim_threads) {
+SweepRecord run_one(const SweepJob& job, const Workload& w,
+                    const SweepOptions& options) {
   CmpConfig cfg = job.config;
   std::string sched = job.sched;
   if (sched == kSequentialSched) {
@@ -108,7 +120,14 @@ SweepRecord run_one(const SweepJob& job, const Workload& w, int sim_threads) {
   // 0 keeps the simulator default ($CACHESCHED_SIM_THREADS or serial);
   // results are byte-identical either way, so this never enters job or
   // store identity.
-  if (sim_threads > 0) sim.set_sim_threads(sim_threads);
+  if (options.sim_threads > 0) sim.set_sim_threads(options.sim_threads);
+  // Watchdog / cancellation / stall-fault poll: only attached when one
+  // of them can fire, so the common case keeps the engine poll disabled.
+  robust::RunGuard guard(options.job_timeout_ms, options.cancel);
+  if (options.job_timeout_ms > 0 || options.cancel ||
+      robust::faults_armed()) {
+    sim.set_run_guard(&guard);
+  }
   auto s = make_scheduler(sched);
   SweepRecord rec;
   rec.job = job;
@@ -176,8 +195,50 @@ SweepResults run_sweep(std::vector<SweepJob> jobs,
   }
 
   size_t completed = 0;  // guarded by mu, so callbacks see monotonic counts
-  std::mutex mu;         // guards completed, callbacks and first_error
+  std::mutex mu;         // guards completed, callbacks, first_error and
+                         // the quarantine list
   std::exception_ptr first_error;
+  std::vector<QuarantinedJob> quarantined;
+  std::atomic<size_t> retries{0};
+
+  auto cancelled = [&options] {
+    return options.cancel && options.cancel();
+  };
+
+  // Fault-tolerance wrapper around one unit of work (a job attempt or a
+  // workload build). Returns true on success. TransientError is retried
+  // with exponential backoff up to job_retries times; exhausted
+  // transients and watchdog timeouts are recorded into *err (and return
+  // false) when quarantine is on, rethrown otherwise. Anything else —
+  // bad specs, logic errors, cancellation — propagates untouched.
+  auto try_unit = [&](auto&& fn, std::string* err) -> bool {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        fn();
+        return true;
+      } catch (const robust::JobTimeoutError& e) {
+        // Deterministic: the same job would time out on every retry.
+        if (!options.quarantine) throw;
+        *err = e.what();
+        return false;
+      } catch (const robust::TransientError& e) {
+        if (attempt < options.job_retries && !cancelled()) {
+          retries.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              options.retry_backoff_ms << std::min(attempt, 10)));
+          continue;
+        }
+        if (!options.quarantine) throw;
+        *err = e.what();
+        return false;
+      }
+    }
+  };
+
+  auto add_quarantine = [&](size_t job_index, const std::string& err) {
+    std::lock_guard<std::mutex> lock(mu);
+    quarantined.push_back({job_index, jobs[job_index].key(), err});
+  };
 
   // Store lookup: jobs whose full identity already has a persisted
   // record load it and skip the build/simulate phases entirely. Hits are
@@ -196,9 +257,8 @@ SweepResults run_sweep(std::vector<SweepJob> jobs,
         rec.job = jobs[i];
         rec.job.factory = nullptr;
         records[i] = std::move(rec);
-        if (options.on_result) {
-          options.on_result(records[i], ++completed, total);
-        }
+        ++completed;
+        if (options.on_result) options.on_result(records[i], completed, total);
       } else {
         pending.push_back(i);
       }
@@ -214,6 +274,10 @@ SweepResults run_sweep(std::vector<SweepJob> jobs,
     std::atomic<size_t> next{0};
     auto drain = [&] {
       for (;;) {
+        // Graceful shutdown: stop claiming new work once cancellation is
+        // observed; jobs already claimed drain (their engine polls abort
+        // them promptly, and completed store puts are already durable).
+        if (cancelled()) return;
         const size_t i = next.fetch_add(1);
         if (i >= n) return;
         try {
@@ -242,28 +306,64 @@ SweepResults run_sweep(std::vector<SweepJob> jobs,
     if (options.store && !keys.empty() && keys[i]) {
       options.store->put(*keys[i], records[i]);
     }
-    if (options.on_result) {
-      std::lock_guard<std::mutex> lock(mu);
-      options.on_result(records[i], ++completed, total);
+    std::lock_guard<std::mutex> lock(mu);
+    ++completed;
+    if (options.on_result) options.on_result(records[i], completed, total);
+  };
+
+  // Rethrow policy after each phase joins: cancellation wins (the errors
+  // racing with it are InterruptedError noise from aborted jobs), then
+  // the first real error.
+  auto check_phase = [&] {
+    if (cancelled()) throw robust::SweepInterrupted(completed, total);
+    if (first_error) std::rethrow_exception(first_error);
+  };
+
+  // Assembles the final results: quarantined jobs (if any) are dropped
+  // from the record list and reported alongside it, in job order.
+  auto finalize = [&]() -> SweepResults {
+    std::sort(quarantined.begin(), quarantined.end(),
+              [](const QuarantinedJob& a, const QuarantinedJob& b) {
+                return a.index < b.index;
+              });
+    const size_t n_retries = retries.load(std::memory_order_relaxed);
+    if (quarantined.empty()) {
+      return SweepResults(std::move(records), {}, n_retries);
     }
+    std::vector<char> dropped(total, 0);
+    for (const QuarantinedJob& q : quarantined) dropped[q.index] = 1;
+    std::vector<SweepRecord> kept;
+    kept.reserve(total - quarantined.size());
+    for (size_t i = 0; i < total; ++i) {
+      if (!dropped[i]) kept.push_back(std::move(records[i]));
+    }
+    return SweepResults(std::move(kept), std::move(quarantined), n_retries);
   };
 
   // Sharing off: the pre-cache behavior, including its memory profile —
   // each job builds its own workload inside the job, so at most `workers`
-  // workloads are ever alive at once.
+  // workloads are ever alive at once. The whole unit (build + simulate +
+  // persist) retries together: a transient build failure re-builds, a
+  // torn store write re-simulates (deterministic, so byte-identical).
   if (!options.share_workloads) {
     parallel_for(num_pending, [&](size_t k) {
       const size_t i = pending[k];
-      const Workload w = build_one(jobs[i]);
-      if (options.on_workload_built) {
-        std::lock_guard<std::mutex> lock(mu);
-        options.on_workload_built(jobs[i].app);
-      }
-      records[i] = run_one(jobs[i], w, options.sim_threads);
-      finish(i);
+      std::string err;
+      const bool ok = try_unit(
+          [&] {
+            const Workload w = build_one(jobs[i]);
+            if (options.on_workload_built) {
+              std::lock_guard<std::mutex> lock(mu);
+              options.on_workload_built(jobs[i].app);
+            }
+            records[i] = run_one(jobs[i], w, options);
+            finish(i);
+          },
+          &err);
+      if (!ok) add_quarantine(i, err);
     });
-    if (first_error) std::rethrow_exception(first_error);
-    return SweepResults(std::move(records));
+    check_phase();
+    return finalize();
   }
 
   // Phase 1 — hash-cons workloads: one build slot per unique workload key
@@ -299,26 +399,49 @@ SweepResults run_sweep(std::vector<SweepJob> jobs,
   for (size_t s = 0; s < num_slots; ++s) slot_jobs_left[s] = 0;
   for (size_t k = 0; k < num_pending; ++k) ++slot_jobs_left[slot_of[k]];
 
+  // A slot whose build exhausts retries quarantines every job that would
+  // have shared it (they cannot run without the workload).
+  std::vector<std::string> slot_error(num_slots);
+  std::vector<char> slot_failed(num_slots, 0);
   parallel_for(num_slots, [&](size_t i) {
-    built[i] = std::make_shared<const Workload>(build_one(*slot_job[i]));
-    if (options.on_workload_built) {
-      std::lock_guard<std::mutex> lock(mu);
-      options.on_workload_built(slot_job[i]->app);
+    std::string err;
+    const bool ok = try_unit(
+        [&] {
+          built[i] = std::make_shared<const Workload>(build_one(*slot_job[i]));
+          if (options.on_workload_built) {
+            std::lock_guard<std::mutex> lock(mu);
+            options.on_workload_built(slot_job[i]->app);
+          }
+        },
+        &err);
+    if (!ok) {
+      slot_error[i] = err;
+      slot_failed[i] = 1;
     }
   });
-  if (first_error) std::rethrow_exception(first_error);
+  check_phase();
 
   // Phase 2 — simulate. run_one never mutates the shared workload (the
   // engine takes const TaskDag&), so jobs of one slot are independent.
   parallel_for(num_pending, [&](size_t k) {
     const size_t i = pending[k];
     const size_t slot = slot_of[k];
-    records[i] = run_one(jobs[i], *built[slot], options.sim_threads);
+    if (slot_failed[slot]) {
+      add_quarantine(i, slot_error[slot]);
+    } else {
+      std::string err;
+      const bool ok = try_unit(
+          [&] {
+            records[i] = run_one(jobs[i], *built[slot], options);
+            finish(i);
+          },
+          &err);
+      if (!ok) add_quarantine(i, err);
+    }
     if (slot_jobs_left[slot].fetch_sub(1) == 1) built[slot].reset();
-    finish(i);
   });
-  if (first_error) std::rethrow_exception(first_error);
-  return SweepResults(std::move(records));
+  check_phase();
+  return finalize();
 }
 
 SweepResults run_sweep(const SweepSpec& spec, const SweepOptions& options) {
@@ -326,7 +449,14 @@ SweepResults run_sweep(const SweepSpec& spec, const SweepOptions& options) {
 }
 
 SweepResults::SweepResults(std::vector<SweepRecord> records)
-    : records_(std::move(records)) {
+    : SweepResults(std::move(records), {}, 0) {}
+
+SweepResults::SweepResults(std::vector<SweepRecord> records,
+                           std::vector<QuarantinedJob> quarantined,
+                           size_t retries)
+    : records_(std::move(records)),
+      quarantined_(std::move(quarantined)),
+      retries_(retries) {
   find_index_.reserve(records_.size());
   for (size_t i = 0; i < records_.size(); ++i) {
     // emplace keeps the first occurrence, matching the original

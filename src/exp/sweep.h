@@ -210,12 +210,49 @@ struct SweepOptions {
   /// execution knob like `workers` — deliberately NOT part of job identity,
   /// workload keys, or store keys.
   int sim_threads = 0;
+
+  // Fault tolerance (src/robust/). The defaults preserve the historical
+  // fail-fast contract: no watchdog, no retries, the first error aborts
+  // the sweep.
+
+  /// Per-job wall-clock watchdog (ms); the engines poll it cooperatively
+  /// (robust/guard.h). A job that exceeds it fails with JobTimeoutError —
+  /// quarantined when `quarantine` is set (never retried: a deterministic
+  /// simulation that timed out once would time out again), fatal
+  /// otherwise. 0 = no watchdog.
+  uint64_t job_timeout_ms = 0;
+  /// Bounded retry for robust::TransientError (torn store writes, rename
+  /// failures, injected faults): each job attempt may be retried this
+  /// many times, sleeping retry_backoff_ms << attempt between tries.
+  /// Other exception types are never retried.
+  int job_retries = 0;
+  uint64_t retry_backoff_ms = 10;
+  /// Record jobs that exhaust retries (or time out) in
+  /// SweepResults::quarantined() and keep sweeping, instead of failing
+  /// the whole matrix on the first bad job.
+  bool quarantine = false;
+  /// Cooperative cancellation (SIGINT/SIGTERM): checked before each job
+  /// and polled inside running simulations. When it reports true the
+  /// sweep stops claiming work, drains in-flight jobs (completed store
+  /// writes are already durable), and throws robust::SweepInterrupted.
+  std::function<bool()> cancel;
+};
+
+/// A job the sweep gave up on: it exhausted its transient-error retries
+/// or hit the watchdog. Recorded instead of aborting the matrix when
+/// SweepOptions::quarantine is set; its record is absent from records().
+struct QuarantinedJob {
+  size_t index = 0;  // position in the submitted job list
+  JobKey key;
+  std::string error;
 };
 
 class SweepResults {
  public:
   SweepResults() = default;
   explicit SweepResults(std::vector<SweepRecord> records);
+  SweepResults(std::vector<SweepRecord> records,
+               std::vector<QuarantinedJob> quarantined, size_t retries);
 
   const std::vector<SweepRecord>& records() const { return records_; }
   bool empty() const { return records_.empty(); }
@@ -242,8 +279,20 @@ class SweepResults {
   void write_csv(const std::string& path) const;
   void write_json(const std::string& path) const;
 
+  /// Jobs dropped under SweepOptions::quarantine, in job order. Empty
+  /// unless quarantine was enabled and jobs actually failed.
+  const std::vector<QuarantinedJob>& quarantined() const {
+    return quarantined_;
+  }
+
+  /// Transient-error retries performed across the sweep (diagnostic; a
+  /// retried job that eventually succeeded is NOT quarantined).
+  size_t retries() const { return retries_; }
+
  private:
   std::vector<SweepRecord> records_;
+  std::vector<QuarantinedJob> quarantined_;
+  size_t retries_ = 0;
   /// JobKey -> index of the first matching record; built at construction
   /// (benches look up every sweep point, which was quadratic with a
   /// linear scan per lookup).
@@ -252,7 +301,11 @@ class SweepResults {
 
 /// Runs `jobs` on a worker pool; records are in job order regardless of
 /// worker count. The first exception thrown by a job (unknown app or
-/// scheduler, bad scale, ...) is rethrown after the pool drains.
+/// scheduler, bad scale, ...) is rethrown after the pool drains — except
+/// robust::TransientError (retried per job_retries, then quarantined when
+/// enabled), JobTimeoutError (quarantined when enabled), and
+/// cancellation, which surfaces as robust::SweepInterrupted after every
+/// in-flight job has drained.
 SweepResults run_sweep(std::vector<SweepJob> jobs,
                        const SweepOptions& options = {});
 

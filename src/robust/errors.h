@@ -1,0 +1,66 @@
+// Error taxonomy for the fault-tolerance layer (src/robust/).
+//
+// The sweep engine's retry/quarantine policy keys off these types:
+//
+//   TransientError    — an operation that may succeed if repeated (torn
+//                       store write, injected I/O fault, allocation
+//                       hiccup). Eligible for bounded retry-with-backoff;
+//                       quarantined once retries are exhausted.
+//   JobTimeoutError   — a job exceeded its wall-clock watchdog budget.
+//                       Never retried (a deterministic simulator that
+//                       timed out once will time out again); quarantined
+//                       directly.
+//   InterruptedError  — a cooperative cancellation (SIGINT/SIGTERM)
+//                       observed inside an engine poll point. Aborts the
+//                       job; the sweep drains and reports SweepInterrupted.
+//   SweepInterrupted  — thrown by run_sweep after a cancelled sweep has
+//                       flushed every completed in-flight store write, so
+//                       the caller can print a --resume-ready command line
+//                       and exit with the interrupted code (130).
+//
+// Anything else (std::invalid_argument from spec parsing, logic errors)
+// still fails the sweep fast: those are bugs or bad inputs, not faults.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace cachesched {
+namespace robust {
+
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class JobTimeoutError : public std::runtime_error {
+ public:
+  explicit JobTimeoutError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class InterruptedError : public std::runtime_error {
+ public:
+  InterruptedError() : std::runtime_error("interrupted") {}
+};
+
+class SweepInterrupted : public std::runtime_error {
+ public:
+  SweepInterrupted(std::size_t completed, std::size_t total)
+      : std::runtime_error("sweep interrupted (" + std::to_string(completed) +
+                           "/" + std::to_string(total) + " jobs completed)"),
+        completed_(completed),
+        total_(total) {}
+
+  std::size_t completed() const { return completed_; }
+  std::size_t total() const { return total_; }
+
+ private:
+  std::size_t completed_;
+  std::size_t total_;
+};
+
+}  // namespace robust
+}  // namespace cachesched

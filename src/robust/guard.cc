@@ -1,0 +1,33 @@
+#include "robust/guard.h"
+
+#include <thread>
+
+#include "robust/errors.h"
+#include "robust/faultinject.h"
+
+namespace cachesched {
+namespace robust {
+
+RunGuard::RunGuard(uint64_t timeout_ms, std::function<bool()> cancelled)
+    : timeout_ms_(timeout_ms), cancelled_(std::move(cancelled)) {
+  start();
+}
+
+void RunGuard::start() {
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(timeout_ms_);
+}
+
+void RunGuard::poll() const {
+  if (fault_point(FaultSite::kEngineStall)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fault_stall_ms()));
+  }
+  if (cancelled_ && cancelled_()) throw InterruptedError();
+  if (timeout_ms_ != 0 && std::chrono::steady_clock::now() >= deadline_) {
+    throw JobTimeoutError("job exceeded watchdog timeout (" +
+                          std::to_string(timeout_ms_) + " ms)");
+  }
+}
+
+}  // namespace robust
+}  // namespace cachesched

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "robust/guard.h"
 #include "sched/central_fifo_scheduler.h"
 #include "sched/pdf_scheduler.h"
 #include "sched/ws_scheduler.h"
@@ -81,7 +82,8 @@ struct CoreState {
 // leaves the run loop or spills its accumulator state.
 template <class S>
 SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
-                   const TaskDag& dag, S& sched) {
+                   const TaskDag& dag, S& sched,
+                   const robust::RunGuard* guard) {
   const int P = cfg.cores;
   const int line_shift =
       std::countr_zero(static_cast<unsigned>(cfg.line_bytes));
@@ -388,7 +390,12 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
     start_task(i, u, 0);
   }
 
+  uint64_t guard_poll = 0;
   while (completed < dag.num_tasks()) {
+    // Watchdog/cancellation poll (robust/guard.h): an outer iteration
+    // retires at least one event, so this fires rarely relative to the
+    // per-reference hot path and costs one predictable branch unguarded.
+    if (guard != nullptr && (guard_poll++ & 63) == 0) guard->poll();
     // One scan finds the next event — the non-idle core with the smallest
     // (time, id) — and the earliest event of any other core, as a
     // branch-free two-smallest reduction over the pre-packed keys (the
@@ -471,18 +478,19 @@ SimResult CmpSimulator::run(const TaskDag& dag, Scheduler& sched) {
   if (sim_threads_ > 1) {
     return engine_impl::simulate_parallel(cfg_, quantum_, collect_task_stats_,
                                           dag, sched, sim_threads_,
-                                          conflict_stress_, &par_stats_);
+                                          conflict_stress_, guard_,
+                                          &par_stats_);
   }
   if (auto* s = dynamic_cast<PdfScheduler*>(&sched)) {
-    return simulate(cfg_, quantum_, collect_task_stats_, dag, *s);
+    return simulate(cfg_, quantum_, collect_task_stats_, dag, *s, guard_);
   }
   if (auto* s = dynamic_cast<WsScheduler*>(&sched)) {
-    return simulate(cfg_, quantum_, collect_task_stats_, dag, *s);
+    return simulate(cfg_, quantum_, collect_task_stats_, dag, *s, guard_);
   }
   if (auto* s = dynamic_cast<CentralFifoScheduler*>(&sched)) {
-    return simulate(cfg_, quantum_, collect_task_stats_, dag, *s);
+    return simulate(cfg_, quantum_, collect_task_stats_, dag, *s, guard_);
   }
-  return simulate(cfg_, quantum_, collect_task_stats_, dag, sched);
+  return simulate(cfg_, quantum_, collect_task_stats_, dag, sched, guard_);
 }
 
 }  // namespace cachesched

@@ -42,6 +42,10 @@
 
 namespace cachesched {
 
+namespace robust {
+class RunGuard;  // robust/guard.h
+}
+
 struct SimResult {
   std::string scheduler;
   std::string config;
@@ -104,6 +108,8 @@ struct ParallelSimStats {
   uint64_t rollbacks = 0;    // one per conflict
   uint64_t replayed_ops = 0; // ops regenerated from snapshots during rollbacks
   uint64_t snapshots = 0;    // snapshots taken (dispatches + refreshes)
+  uint64_t demotions = 0;    // rollback-storm demotions to serial commit
+                             // (0 or 1 per run; results unchanged)
 };
 
 class CmpSimulator {
@@ -142,6 +148,13 @@ class CmpSimulator {
   /// Speculation diagnostics of the most recent run().
   const ParallelSimStats& parallel_stats() const { return par_stats_; }
 
+  /// Cooperative watchdog/cancellation: both engines poll `guard` every
+  /// few outer event-loop iterations (robust/guard.h), so a run can be
+  /// bounded by a wall-clock budget or aborted on SIGINT/SIGTERM. The
+  /// caller owns the guard; it must outlive run(). nullptr (the default)
+  /// removes the poll entirely — the hot path is unaffected.
+  void set_run_guard(const robust::RunGuard* g) { guard_ = g; }
+
   const CmpConfig& config() const { return cfg_; }
 
  private:
@@ -150,16 +163,19 @@ class CmpSimulator {
   bool collect_task_stats_ = false;
   int sim_threads_ = 1;  // constructor applies $CACHESCHED_SIM_THREADS
   bool conflict_stress_ = false;
+  const robust::RunGuard* guard_ = nullptr;
   ParallelSimStats par_stats_;
 };
 
 namespace engine_impl {
 /// The speculative parallel engine (engine_parallel.cc). `stats` must be
-/// zeroed by the caller; `threads` >= 2.
+/// zeroed by the caller; `threads` >= 2; `guard` may be nullptr.
 SimResult simulate_parallel(const CmpConfig& cfg, uint64_t quantum,
                             bool collect_task_stats, const TaskDag& dag,
                             Scheduler& sched, int threads,
-                            bool conflict_stress, ParallelSimStats* stats);
+                            bool conflict_stress,
+                            const robust::RunGuard* guard,
+                            ParallelSimStats* stats);
 }  // namespace engine_impl
 
 }  // namespace cachesched

@@ -45,6 +45,8 @@
 #include <thread>
 #include <vector>
 
+#include "robust/faultinject.h"
+#include "robust/guard.h"
 #include "simarch/engine.h"
 #include "simarch/engine_detail.h"
 
@@ -82,6 +84,16 @@ constexpr uint64_t kSnapshotEvery = 8192;
 /// A worker produces at most this many ops per lock acquisition, so
 /// invalidation deliveries (which take the same mutex) are never starved.
 constexpr int kProduceBatch = 256;
+
+/// Rollback-storm detector (graceful degradation): when a sharing-heavy
+/// phase makes speculation pathological — more than kStormRollbacks
+/// rollbacks within a sliding window of kStormWindowOps committed ops —
+/// the run demotes to serial commit mid-flight: workers stop, and the
+/// committer produces each core's op stream itself (the exact worker
+/// algorithm, on one thread), so results stay byte-identical by
+/// construction while the wasted replay work stops.
+constexpr uint64_t kStormWindowOps = 1 << 15;
+constexpr uint64_t kStormRollbacks = 8;
 
 /// A delivered invalidation recorded for replay: logically ordered before
 /// the op at ring index `pos`.
@@ -143,13 +155,14 @@ class ParallelSim {
  public:
   ParallelSim(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
               const TaskDag& dag, Scheduler& sched, int threads, bool stress,
-              ParallelSimStats* out)
+              const robust::RunGuard* guard, ParallelSimStats* out)
       : cfg_(cfg),
         quantum_(quantum),
         collect_(collect_stats),
         dag_(dag),
         sched_(sched),
         stress_(stress),
+        guard_(guard),
         out_(out),
         P_(cfg.cores),
         l1_set_mask_(static_cast<uint64_t>(cfg.l1_sets()) - 1),
@@ -183,6 +196,9 @@ class ParallelSim {
   uint64_t commit_l2_access(uint64_t t, int c, const SpecOp& op);
   void deliver_inval(int d, uint64_t line);
   void rollback(int d, uint64_t target);
+  void stop_workers();
+  void demote();
+  void self_produce(int c);
 
   const CmpConfig& cfg_;
   const uint64_t quantum_;
@@ -190,6 +206,7 @@ class ParallelSim {
   const TaskDag& dag_;
   Scheduler& sched_;
   const bool stress_;
+  const robust::RunGuard* const guard_;
   ParallelSimStats* const out_;
   const int P_;
   const uint64_t l1_set_mask_;
@@ -206,6 +223,14 @@ class ParallelSim {
   std::vector<uint32_t> indeg_;
   std::vector<TaskId> ready_buf_;
   std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+
+  // Rollback-storm state. All written/read on the committer thread only
+  // (deliver_inval runs inside the commit path), so plain fields suffice.
+  bool demote_pending_ = false;
+  bool demoted_ = false;
+  uint64_t storm_window_start_ = 0;  // committed-op count at window start
+  uint64_t storm_rollbacks_ = 0;     // rollbacks within the window
 
   SimResult* res_ = nullptr;
   size_t completed_ = 0;
@@ -400,7 +425,7 @@ uint64_t ParallelSim::commit_l2_access(uint64_t t, int c, const SpecOp& op) {
 void ParallelSim::deliver_inval(int d, uint64_t line) {
   SpecCore& sd = *spec_[d];
   ++st_.delivered_invalidations;
-  if (stress_) {
+  if (stress_ && !demoted_) {
     // Test knob: wait for d's speculation to quiesce (trace exhausted,
     // ring full, or refresh-paused) so that a conflicting op, if the
     // trace has one, is reliably in flight when the delivery happens.
@@ -426,9 +451,27 @@ void ParallelSim::deliver_inval(int d, uint64_t line) {
       break;
     }
   }
+  // Injected conflict storm: treat the delivery as conflicting even when
+  // it commutes. The forced rollback replays to the same state (replay
+  // recomputes outcomes from the pure trace), so results are unchanged —
+  // this only manufactures the pathological schedule the storm detector
+  // exists for.
+  if (!conflict && !demoted_ &&
+      robust::fault_point(robust::FaultSite::kSpecConflictStorm)) {
+    conflict = true;
+  }
   if (conflict) {
     ++st_.conflicts;
     rollback(d, tl);
+    if (!demoted_) {
+      uint64_t ops = 0;
+      for (int i = 0; i < P_; ++i) ops += ctail_[i];
+      if (ops - storm_window_start_ > kStormWindowOps) {
+        storm_window_start_ = ops;
+        storm_rollbacks_ = 0;
+      }
+      if (++storm_rollbacks_ >= kStormRollbacks) demote_pending_ = true;
+    }
   }
   sd.l1.invalidate(line);
   sd.invals.push_back({tl, line});
@@ -485,6 +528,36 @@ void ParallelSim::rollback(int d, uint64_t target) {
   ++st_.rollbacks;
 }
 
+void ParallelSim::stop_workers() {
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& th : workers_) th.join();
+  workers_.clear();
+}
+
+// Graceful degradation: the storm detector decided speculation is losing.
+// Join the workers, then continue committing with the committer producing
+// each core's op stream itself (self_produce) — the identical algorithm
+// on one thread, so every later commit equals what the worker would have
+// produced and the SimResult stays byte-identical. Already-produced ring
+// entries remain valid (deliveries kept them coherent) and are consumed
+// as usual.
+void ParallelSim::demote() {
+  stop_workers();
+  demoted_ = true;
+  demote_pending_ = false;
+  ++st_.demotions;
+}
+
+// Post-demotion production: runs the worker's produce() for core c on the
+// committer thread. The lock is uncontended (workers are joined); produce
+// still honors refresh requests so snapshots stay bounded.
+void ParallelSim::self_produce(int c) {
+  SpecCore& sc = *spec_[c];
+  std::lock_guard<std::mutex> lk(sc.mu);
+  bool any = false;
+  produce(sc, any);
+}
+
 // The serial engine's run_core, consuming core c's speculated op stream
 // instead of expanding the trace itself: identical exit conditions in the
 // identical order (pending access first, then the yield check before
@@ -518,6 +591,7 @@ void ParallelSim::commit_run_core(int c, uint64_t other_min,
       // that caused the rollback, exactly as the serial engine's fill at
       // this point would).
       while (t == h) {
+        if (demoted_) self_produce(c);
         h = sc.head.load(std::memory_order_acquire);
         if (t == h) std::this_thread::yield();
       }
@@ -543,6 +617,11 @@ void ParallelSim::commit_run_core(int c, uint64_t other_min,
             exit_kind = kDone;
             break;
           }
+        } else if (demoted_) {
+          // No workers anymore: produce this core's next batch in place
+          // instead of yielding to a producer that will never come.
+          sc.tail.store(t, std::memory_order_release);
+          self_produce(c);
         } else {
           sc.tail.store(t, std::memory_order_release);
           std::this_thread::yield();
@@ -664,23 +743,23 @@ SimResult ParallelSim::run() {
   }
 
   {
-    // RAII join: a committer exception (DAG deadlock) still stops the
-    // workers before unwinding.
+    // RAII join: a committer exception (DAG deadlock, watchdog timeout,
+    // cancellation) still stops the workers before unwinding. A mid-run
+    // demotion joins them early through the same stop_workers().
     struct Pool {
-      std::atomic<bool>* stop;
-      std::vector<std::thread> threads;
-      explicit Pool(std::atomic<bool>* s) : stop(s) {}
-      ~Pool() {
-        stop->store(true, std::memory_order_release);
-        for (auto& th : threads) th.join();
-      }
-    } pool(&stop_);
-    pool.threads.reserve(num_workers_);
+      ParallelSim* sim;
+      explicit Pool(ParallelSim* s) : sim(s) {}
+      ~Pool() { sim->stop_workers(); }
+    } pool(this);
+    workers_.reserve(num_workers_);
     for (int w = 0; w < num_workers_; ++w) {
-      pool.threads.emplace_back([this, w] { worker_loop(w); });
+      workers_.emplace_back([this, w] { worker_loop(w); });
     }
 
+    uint64_t guard_poll = 0;
     while (completed_ < dag_.num_tasks()) {
+      if (guard_ != nullptr && (guard_poll++ & 63) == 0) guard_->poll();
+      if (demote_pending_) demote();
       uint64_t k1 = UINT64_MAX;
       uint64_t k2 = UINT64_MAX;
       for (int i = 0; i < P_; ++i) {
@@ -728,9 +807,11 @@ SimResult ParallelSim::run() {
 SimResult simulate_parallel(const CmpConfig& cfg, uint64_t quantum,
                             bool collect_task_stats, const TaskDag& dag,
                             Scheduler& sched, int threads,
-                            bool conflict_stress, ParallelSimStats* stats) {
+                            bool conflict_stress,
+                            const robust::RunGuard* guard,
+                            ParallelSimStats* stats) {
   ParallelSim sim(cfg, quantum, collect_task_stats, dag, sched, threads,
-                  conflict_stress, stats);
+                  conflict_stress, guard, stats);
   return sim.run();
 }
 

@@ -11,6 +11,24 @@
 
 namespace cachesched {
 
+/// Process exit codes for the CLI tools — one vocabulary instead of the
+/// ad-hoc 1/2 mix that grew over time. check_unused() returns
+/// kExitUsage-compatible 2 for unknown flags.
+enum ExitCode : int {
+  kExitOk = 0,
+  /// Runtime failure: simulation error, I/O error, bad input data.
+  kExitRuntime = 1,
+  /// Usage error: unknown flag/subcommand, malformed spec string.
+  kExitUsage = 2,
+  /// The sweep finished but some jobs were quarantined, or a merge was
+  /// assembled with holes — output exists but is incomplete.
+  kExitQuarantinedHoles = 3,
+  /// SIGINT/SIGTERM: the sweep shut down gracefully (completed results
+  /// durable; a --resume command line was printed). 128 + SIGINT's 2,
+  /// the shell convention.
+  kExitInterrupted = 130,
+};
+
 class CliArgs {
  public:
   CliArgs(int argc, char** argv);

@@ -9,6 +9,8 @@
 
 #include "exp/store.h"
 #include "exp/sweep.h"
+#include "robust/errors.h"
+#include "robust/faultinject.h"
 
 namespace cachesched {
 namespace {
@@ -316,6 +318,136 @@ TEST_F(StoreTest, LoadAllThrowsOnIncompleteStore) {
   }
   ResultStore store(dir());
   EXPECT_THROW(load_all(store, jobs), std::runtime_error);
+}
+
+TEST_F(StoreTest, LoadAllWithHolesReturnsPartialMatrixAndNamesTheHoles) {
+  const auto jobs = expand(small_spec());
+  const auto stored = shard_jobs(jobs, 0, 2);
+  {
+    ResultStore store(dir());
+    SweepOptions opt;
+    opt.workers = 1;
+    opt.store = &store;
+    run_sweep(stored, opt);
+  }
+  ResultStore store(dir());
+  std::vector<MergeHole> holes;
+  const SweepResults res = load_all(store, jobs, /*allow_holes=*/true, &holes);
+  EXPECT_EQ(res.size(), stored.size());
+  ASSERT_EQ(holes.size(), jobs.size() - stored.size());
+  // Round-robin shard 0/2 stored the even indices; the holes are exactly
+  // the odd ones, in job order, carrying the job's identity.
+  for (size_t i = 0; i < holes.size(); ++i) {
+    EXPECT_EQ(holes[i].index, 2 * i + 1);
+    EXPECT_EQ(holes[i].key, jobs[2 * i + 1].key());
+  }
+}
+
+/// Disarms fault injection on scope exit so one test's schedule can never
+/// leak into the next (or into TearDown's filesystem work).
+struct FaultGuard {
+  explicit FaultGuard(const std::string& spec) { robust::arm_faults(spec); }
+  ~FaultGuard() { robust::disarm_faults(); }
+};
+
+/// One simulated record to feed the injection tests.
+SweepRecord one_record(std::optional<StoreKey>* key) {
+  SweepSpec spec = small_spec();
+  spec.apps = {"matmul"};
+  spec.scheds = {"pdf"};
+  spec.core_counts = {2};
+  const auto jobs = expand(spec);
+  *key = store_key(jobs[0]);
+  const SweepResults res = run_sweep(jobs, {.workers = 1});
+  return res[0];
+}
+
+// The crash-simulation property behind the fsync+rename protocol: a torn
+// write must leave the torn bytes ONLY under a temp name — a final .rec
+// name always denotes a complete, checksummed entry.
+TEST_F(StoreTest, InjectedShortWriteLeavesTornTmpNeverAFinalEntry) {
+  std::optional<StoreKey> key;
+  const SweepRecord rec = one_record(&key);
+  ASSERT_TRUE(key);
+  ResultStore store(dir());
+  {
+    FaultGuard faults("store.write.short:every=1");
+    EXPECT_THROW(store.put(*key, rec), robust::TransientError);
+  }
+  EXPECT_FALSE(store.contains(*key));
+  EXPECT_TRUE(entry_files(dir_).empty());
+  // The torn temp file is on disk (exactly what a power loss mid-write
+  // leaves) and is ignored by loads...
+  size_t tmp_files = 0;
+  for (const auto& e : fs::recursive_directory_iterator(dir_)) {
+    if (e.is_regular_file() &&
+        e.path().filename().string().rfind("tmp-", 0) == 0) {
+      ++tmp_files;
+      EXPECT_GT(fs::file_size(e.path()), 0u) << "tear should be partial";
+    }
+  }
+  EXPECT_EQ(tmp_files, 1u);
+  SweepRecord out;
+  EXPECT_FALSE(store.load(*key, &out));
+  // ...and a retry after the fault clears succeeds and round-trips.
+  store.put(*key, rec);
+  EXPECT_TRUE(store.load(*key, &out));
+  EXPECT_EQ(out.result.cycles, rec.result.cycles);
+}
+
+TEST_F(StoreTest, InjectedRenameFailureIsTransientAndRetriable) {
+  std::optional<StoreKey> key;
+  const SweepRecord rec = one_record(&key);
+  ASSERT_TRUE(key);
+  ResultStore store(dir());
+  {
+    FaultGuard faults("store.rename.fail:every=1");
+    EXPECT_THROW(store.put(*key, rec), robust::TransientError);
+  }
+  EXPECT_FALSE(store.contains(*key));
+  store.put(*key, rec);
+  SweepRecord out;
+  EXPECT_TRUE(store.load(*key, &out));
+  EXPECT_EQ(out.result.cycles, rec.result.cycles);
+}
+
+TEST_F(StoreTest, InjectedTornReadRejectsEntryFailSoft) {
+  std::optional<StoreKey> key;
+  const SweepRecord rec = one_record(&key);
+  ASSERT_TRUE(key);
+  ResultStore store(dir());
+  store.put(*key, rec);
+  SweepRecord out;
+  {
+    FaultGuard faults("store.read.torrent:every=1");
+    EXPECT_FALSE(store.load(*key, &out));  // checksum rejects the prefix
+  }
+  EXPECT_EQ(store.stats().corrupt, 1u);
+  EXPECT_TRUE(store.load(*key, &out));  // the entry itself is intact
+  EXPECT_EQ(out.result.cycles, rec.result.cycles);
+}
+
+TEST_F(StoreTest, SaltMarkerTracksWriterAndFlagsMismatch) {
+  {
+    ResultStore store(dir());
+    EXPECT_EQ(store.previous_salt(), "");  // fresh directory: no history
+    EXPECT_FALSE(store.salt_mismatch());
+  }
+  {
+    ResultStore store(dir());  // reopen: marker written by the first open
+    EXPECT_EQ(store.previous_salt(), kStoreEngineSalt);
+    EXPECT_FALSE(store.salt_mismatch());
+  }
+  write_file(dir_ / "SALT", "stale-salt-v0\n");
+  {
+    ResultStore store(dir());
+    EXPECT_EQ(store.previous_salt(), "stale-salt-v0");
+    EXPECT_TRUE(store.salt_mismatch());
+  }
+  {
+    ResultStore store(dir());  // the mismatched open rewrote the marker
+    EXPECT_FALSE(store.salt_mismatch());
+  }
 }
 
 TEST(ShardTest, ParseShardAcceptsValidRejectsInvalid) {

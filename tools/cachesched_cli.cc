@@ -25,9 +25,23 @@
 //                        store, simulate + persist only the rest
 //   cachesched_cli sweep ... --store=DIR --shard=i/N  # simulate only
 //                        shard i of the matrix into the shared store
+//   cachesched_cli sweep ... [--job-timeout=MS] [--retries=N]
+//                        [--retry-backoff=MS] [--quarantine=BOOL]
+//                        [--faults=SPEC]   # fault tolerance: per-job
+//                        watchdog, bounded retry of transient errors,
+//                        quarantine instead of abort (exit 3 when jobs
+//                        were quarantined), deterministic fault injection
+//                        (grammar: src/robust/faultinject.h; also armed
+//                        by $CACHESCHED_FAULTS). SIGINT/SIGTERM shut the
+//                        sweep down gracefully: in-flight jobs drain,
+//                        completed store writes are durable, a
+//                        --resume-ready command line is printed, exit 130.
 //   cachesched_cli sweep merge ... --store=DIR [--csv --json]
+//                        [--allow-holes]
 //                        # reassemble the full matrix from the store, in
-//                        job order — byte-identical to an unsharded run
+//                        job order — byte-identical to an unsharded run;
+//                        missing records abort (listing the holes) unless
+//                        --allow-holes emits the partial matrix (exit 3)
 //   cachesched_cli perf  [--quick] [--reps=N] [--apps=a,b,...]
 //                        [--out=BENCH_sim.json]       # fixed perf suite;
 //                        diff two outputs with tools/perf_compare
@@ -46,8 +60,11 @@
 // --dispatch, --quantum) are parsed once into a ConfigOverrides
 // (simarch/config.h) and accepted by run/trace/replay/sweep alike.
 //
-// Exit code 0 on success (2 on unknown flags/subcommands); errors to
-// stderr.
+// Exit codes (util/cli.h ExitCode): 0 success, 1 runtime error, 2 usage
+// error (unknown flags/subcommands, bad spec strings), 3 sweep completed
+// with quarantined jobs / merge assembled with holes, 130 interrupted by
+// SIGINT/SIGTERM after a graceful drain. Errors go to stderr.
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
@@ -62,6 +79,8 @@
 #include "exp/sweep.h"
 #include "harness/apps.h"
 #include "harness/workload_registry.h"
+#include "robust/errors.h"
+#include "robust/faultinject.h"
 #include "sched/registry.h"
 #include "perf/suite.h"
 #include "util/cli.h"
@@ -70,6 +89,32 @@
 using namespace cachesched;
 
 namespace {
+
+/// Set by the SIGINT/SIGTERM handler; polled by run_sweep's cancel
+/// callback so an in-flight sweep drains gracefully (completed store
+/// writes stay durable) instead of dying mid-rename.
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void on_shutdown_signal(int sig) { g_signal = sig; }
+
+/// The full original command line, captured in main() so an interrupted
+/// sweep can print a copy-pasteable `--resume` continuation.
+std::string g_command_line;
+
+/// Arms the per-subcommand --faults=SPEC clause set (replacing whatever
+/// $CACHESCHED_FAULTS armed in main). A bad spec is a usage error, same
+/// as a bad scheduler spec: report and exit 2 before any work runs.
+int arm_faults_from_cli(const CliArgs& args) {
+  const std::string spec = args.get("faults", "");
+  if (spec.empty()) return kExitOk;
+  try {
+    robust::arm_faults(spec);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "cachesched_cli: " << e.what() << "\n";
+    return kExitUsage;
+  }
+  return kExitOk;
+}
 
 /// The one place CLI flags become config-timing overrides; shared by
 /// run/trace/replay (via config_from_args) and sweep (via SweepSpec).
@@ -236,10 +281,20 @@ SweepSpec spec_from_args(const CliArgs& args) {
 int cmd_sweep(const CliArgs& args) {
   SweepSpec spec = spec_from_args(args);
   if (const int rc = check_scheds(spec.scheds)) return rc;
+  if (const int rc = arm_faults_from_cli(args)) return rc;
 
   SweepOptions opt;
   opt.workers = static_cast<int>(args.get_int("jobs", 0));
   opt.sim_threads = sim_threads_from_args(args);
+  opt.job_timeout_ms = static_cast<uint64_t>(args.get_int("job-timeout", 0));
+  opt.job_retries = static_cast<int>(args.get_int("retries", 0));
+  opt.retry_backoff_ms =
+      static_cast<uint64_t>(args.get_int("retry-backoff", 10));
+  // The CLI is sweep-as-a-service: one bad job is reported and skipped
+  // (exit 3) rather than aborting the whole matrix. The library default
+  // stays fail-fast; pass --quarantine=false to get it back.
+  opt.quarantine = args.get_bool("quarantine", true);
+  opt.cancel = [] { return g_signal != 0; };
   if (args.get_bool("progress", false)) {
     opt.on_result = [](const SweepRecord& r, size_t done, size_t total) {
       std::fprintf(stderr, "[%zu/%zu] %s/%s cores=%d done\n", done, total,
@@ -257,28 +312,28 @@ int cmd_sweep(const CliArgs& args) {
   if (resume && store_dir.empty()) {
     std::cerr << "sweep: --resume requires --store=DIR (the store holds the "
                  "records to resume from)\n";
-    return 2;
+    return kExitUsage;
   }
   if (resume && !std::filesystem::is_directory(store_dir)) {
     std::cerr << "sweep: nothing to resume: " << store_dir
               << " does not exist\n";
-    return 2;
+    return kExitUsage;
   }
   if (!shard.empty() && store_dir.empty()) {
     std::cerr << "sweep: --shard requires --store=DIR (shard results are "
                  "reassembled from the store by `sweep merge`)\n";
-    return 2;
+    return kExitUsage;
   }
   if (!shard.empty() && (!csv.empty() || !json.empty())) {
     std::cerr << "sweep: --shard runs emit no CSV/JSON; run `sweep merge` "
                  "with the full matrix flags to assemble output\n";
-    return 2;
+    return kExitUsage;
   }
 
   std::vector<SweepJob> jobs = expand(spec);
   if (jobs.empty()) {
     std::cerr << "sweep: empty job matrix (check --apps/--scheds/--cores)\n";
-    return 2;
+    return kExitUsage;
   }
   const size_t full_matrix = jobs.size();
   if (!shard.empty()) {
@@ -290,7 +345,20 @@ int cmd_sweep(const CliArgs& args) {
   if (!store_dir.empty()) {
     store.emplace(store_dir);
     opt.store = &*store;
+    if (resume && store->salt_mismatch()) {
+      std::cerr << "sweep: store " << store_dir
+                << " was written by engine salt \"" << store->previous_salt()
+                << "\" but this binary is \"" << kStoreEngineSalt
+                << "\"; every stored record will be rejected and "
+                   "re-simulated (the salt is bumped by any change that "
+                   "alters simulation results; see src/exp/store.h)\n";
+    }
   }
+
+  // From here on a SIGINT/SIGTERM drains in-flight jobs instead of
+  // killing the process mid-store-write.
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
 
   std::cerr << "sweep: " << jobs.size() << " jobs"
             << (shard.empty() ? ""
@@ -298,7 +366,27 @@ int cmd_sweep(const CliArgs& args) {
                                     std::to_string(full_matrix) + ")")
             << " (" << (opt.workers > 0 ? std::to_string(opt.workers) : "auto")
             << " workers)\n";
-  const SweepResults res = run_sweep(jobs, opt);
+  SweepResults res;
+  try {
+    res = run_sweep(jobs, opt);
+  } catch (const robust::SweepInterrupted& e) {
+    std::cerr << "sweep: interrupted by signal " << static_cast<int>(g_signal)
+              << " after " << e.completed() << "/" << e.total()
+              << " jobs; in-flight jobs drained\n";
+    if (store_dir.empty()) {
+      std::cerr << "sweep: completed work was NOT persisted (no --store); "
+                   "rerun with --store=DIR to make sweeps resumable\n";
+    } else {
+      std::cerr << "sweep: completed results are durable in " << store_dir
+                << "; to pick up where this run stopped:\n  "
+                << g_command_line
+                << (g_command_line.find(" --resume") == std::string::npos
+                        ? " --resume"
+                        : "")
+                << "\n";
+    }
+    return kExitInterrupted;
+  }
   if (store) {
     const ResultStore::Stats s = store->stats();
     std::cerr << "sweep: store " << store_dir << ": " << s.hits
@@ -306,16 +394,30 @@ int cmd_sweep(const CliArgs& args) {
     if (s.corrupt) std::cerr << " (" << s.corrupt << " rejected entries)";
     std::cerr << "\n";
   }
+  if (res.retries() > 0) {
+    std::cerr << "sweep: " << res.retries()
+              << " job retries (transient errors masked by --retries)\n";
+  }
+  if (!res.quarantined().empty()) {
+    std::cerr << "sweep: " << res.quarantined().size() << " quarantined:\n";
+    for (const QuarantinedJob& q : res.quarantined()) {
+      std::cerr << "  job " << q.index << ": " << q.key.app << "/"
+                << q.key.sched << "/cores=" << q.key.cores
+                << (q.key.tag.empty() ? "" : "/" + q.key.tag) << ": "
+                << q.error << "\n";
+    }
+  }
+  const int rc = res.quarantined().empty() ? kExitOk : kExitQuarantinedHoles;
   if (!shard.empty()) {
     // Shard output lives in the store; `sweep merge` assembles it.
-    return 0;
+    return rc;
   }
   res.to_table().emit(csv);
   if (!json.empty()) {
     res.write_json(json);
     std::cout << "[json written to " << json << "]\n";
   }
-  return 0;
+  return rc;
 }
 
 /// `sweep merge`: reassembles a sweep entirely from the result store —
@@ -324,36 +426,54 @@ int cmd_sweep(const CliArgs& args) {
 int cmd_sweep_merge(const CliArgs& args) {
   const SweepSpec spec = spec_from_args(args);
   if (const int rc = check_scheds(spec.scheds)) return rc;
+  if (const int rc = arm_faults_from_cli(args)) return rc;
   const std::string csv = args.get("csv", "");
   const std::string json = args.get("json", "");
   const std::string store_dir = args.get("store", "");
+  const bool allow_holes = args.get_bool("allow-holes", false);
   // Execution-only sweep flags, accepted and ignored so the documented
   // workflow — rerun the exact shard command line with `merge` in front —
   // works verbatim (merge only loads records, it runs nothing).
   args.get_int("jobs", 0);
   sim_threads_from_args(args);
   args.get_bool("progress", false);
+  args.get_int("job-timeout", 0);
+  args.get_int("retries", 0);
+  args.get_int("retry-backoff", 0);
+  args.get_bool("quarantine", true);
   if (const int rc = args.check_unused()) return rc;
   if (store_dir.empty()) {
     std::cerr << "sweep merge: --store=DIR required\n";
-    return 2;
+    return kExitUsage;
   }
   const std::vector<SweepJob> jobs = expand(spec);
   if (jobs.empty()) {
     std::cerr << "sweep merge: empty job matrix "
                  "(check --apps/--scheds/--cores)\n";
-    return 2;
+    return kExitUsage;
   }
   ResultStore store(store_dir);
-  const SweepResults res = load_all(store, jobs);  // throws if incomplete
+  // Without --allow-holes this throws, listing the missing jobs — a merge
+  // never silently emits a partial matrix.
+  std::vector<MergeHole> holes;
+  const SweepResults res = load_all(store, jobs, allow_holes, &holes);
   std::cerr << "sweep merge: assembled " << res.size() << " records from "
             << store_dir << "\n";
+  if (!holes.empty()) {
+    std::cerr << "sweep merge: " << holes.size()
+              << " holes (no stored record; quarantined or never run):\n";
+    for (const MergeHole& h : holes) {
+      std::cerr << "  job " << h.index << ": " << h.key.app << "/"
+                << h.key.sched << "/cores=" << h.key.cores
+                << (h.key.tag.empty() ? "" : "/" + h.key.tag) << "\n";
+    }
+  }
   res.to_table().emit(csv);
   if (!json.empty()) {
     res.write_json(json);
     std::cout << "[json written to " << json << "]\n";
   }
-  return 0;
+  return holes.empty() ? kExitOk : kExitQuarantinedHoles;
 }
 
 /// `perf --memory`: deterministic resident-size report (no timing) for
@@ -455,7 +575,7 @@ int usage() {
                "{run|trace|replay|configs|list|sweep|sweep merge|perf} "
                "[options]\n"
                "see the header of tools/cachesched_cli.cc for options\n";
-  return 2;
+  return kExitUsage;
 }
 
 }  // namespace
@@ -463,6 +583,22 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  for (int i = 0; i < argc; ++i) {
+    if (i) g_command_line += ' ';
+    g_command_line += argv[i];
+  }
+  // $CACHESCHED_FAULTS arms fault injection for any subcommand (a
+  // per-subcommand --faults= flag replaces it). A malformed spec is a
+  // usage error, reported before any work runs.
+  try {
+    const std::string armed = robust::arm_faults_from_env();
+    if (!armed.empty()) {
+      std::cerr << "cachesched_cli: fault injection armed: " << armed << "\n";
+    }
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "cachesched_cli: $CACHESCHED_FAULTS: " << e.what() << "\n";
+    return kExitUsage;
+  }
   try {
     // `sweep merge` is the one two-word subcommand; its flags start
     // after the word "merge".
@@ -484,6 +620,6 @@ int main(int argc, char** argv) {
     return rc ? rc : args.check_unused();
   } catch (const std::exception& e) {
     std::cerr << "cachesched_cli: " << e.what() << "\n";
-    return 1;
+    return kExitRuntime;
   }
 }
