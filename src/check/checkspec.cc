@@ -1,0 +1,111 @@
+#include "check/checkspec.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace cachesched {
+namespace check {
+namespace {
+
+[[noreturn]] void fail(const std::string& spec, const std::string& what) {
+  throw std::invalid_argument("bad check spec \"" + spec + "\": " + what);
+}
+
+uint64_t parse_period(const std::string& spec, const std::string& val) {
+  if (val.empty()) fail(spec, "period has no value");
+  if (val[0] == '-' || val[0] == '+') {
+    fail(spec, "period=" + val + " is not a valid unsigned integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long raw = std::strtoull(val.c_str(), &end, 10);
+  if (errno == ERANGE) fail(spec, "period=" + val + " overflows");
+  if (!end || *end != '\0' || end == val.c_str()) {
+    fail(spec, "period=" + val + " is not a valid integer");
+  }
+  if (raw == 0) fail(spec, "period must be >= 1");
+  return raw;
+}
+
+}  // namespace
+
+CheckSpec CheckSpec::parse(const std::string& spec) {
+  if (spec.empty()) fail(spec, "empty spec");
+  CheckSpec out;
+  std::set<std::string> seen;
+  bool period_set = false;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) fail(spec, "empty item (stray comma)");
+    const size_t eq = item.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = item.substr(0, eq);
+      if (key != "period") {
+        fail(spec, "unknown key \"" + key + "\" (known: period)");
+      }
+      if (period_set) fail(spec, "duplicate key period");
+      out.period = parse_period(spec, item.substr(eq + 1));
+      period_set = true;
+      continue;
+    }
+    if (!seen.insert(item).second) fail(spec, "duplicate checker " + item);
+    if (item == "all") {
+      out.coherence = out.lru = out.sched = out.trace = true;
+    } else if (item == "coherence") {
+      out.coherence = true;
+    } else if (item == "lru") {
+      out.lru = true;
+    } else if (item == "sched") {
+      out.sched = true;
+    } else if (item == "trace") {
+      out.trace = true;
+    } else {
+      fail(spec, "unknown checker \"" + item +
+                     "\" (known: coherence lru sched trace all)");
+    }
+  }
+  if (spec.back() == ',') fail(spec, "empty item (stray comma)");
+  if (!out.any()) fail(spec, "no checker named (period alone arms nothing)");
+  return out;
+}
+
+CheckSpec CheckSpec::all(uint64_t period) {
+  CheckSpec s;
+  s.coherence = s.lru = s.sched = s.trace = true;
+  s.period = period;
+  return s;
+}
+
+std::string CheckSpec::str() const {
+  if (!any()) return "";
+  std::string s;
+  auto add = [&s](const char* name) {
+    if (!s.empty()) s += ',';
+    s += name;
+  };
+  if (coherence && lru && sched && trace) {
+    add("all");
+  } else {
+    if (coherence) add("coherence");
+    if (lru) add("lru");
+    if (sched) add("sched");
+    if (trace) add("trace");
+  }
+  if (period != 1024) s += ",period=" + std::to_string(period);
+  return s;
+}
+
+const CheckSpec& default_check_spec() {
+  static const CheckSpec spec = [] {
+    const char* e = std::getenv("CACHESCHED_CHECK");
+    return (e != nullptr && *e != '\0') ? CheckSpec::parse(e) : CheckSpec{};
+  }();
+  return spec;
+}
+
+}  // namespace check
+}  // namespace cachesched

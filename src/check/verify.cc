@@ -1,0 +1,130 @@
+#include "check/verify.h"
+
+#include <string>
+#include <utility>
+
+#include "core/dag.h"
+#include "core/scheduler.h"
+
+namespace cachesched {
+namespace check {
+namespace {
+
+std::string num_diff(const char* name, uint64_t s, uint64_t p) {
+  return std::string(name) + ": serial " + std::to_string(s) +
+         ", parallel " + std::to_string(p);
+}
+
+template <class T>
+std::string vec_diff(const char* name, const std::vector<T>& s,
+                     const std::vector<T>& p) {
+  if (s.size() != p.size()) {
+    return std::string(name) + ".size: serial " + std::to_string(s.size()) +
+           ", parallel " + std::to_string(p.size());
+  }
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != p[i]) {
+      return std::string(name) + "[" + std::to_string(i) + "]: serial " +
+             std::to_string(s[i]) + ", parallel " + std::to_string(p[i]);
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string diff_sim_results(const SimResult& s, const SimResult& p) {
+  if (s.scheduler != p.scheduler) {
+    return "scheduler: serial \"" + s.scheduler + "\", parallel \"" +
+           p.scheduler + "\"";
+  }
+  if (s.config != p.config) {
+    return "config: serial \"" + s.config + "\", parallel \"" + p.config +
+           "\"";
+  }
+  if (s.cores != p.cores) {
+    return num_diff("cores", static_cast<uint64_t>(s.cores),
+                    static_cast<uint64_t>(p.cores));
+  }
+  const std::pair<const char*, std::pair<uint64_t, uint64_t>> scalars[] = {
+      {"cycles", {s.cycles, p.cycles}},
+      {"instructions", {s.instructions, p.instructions}},
+      {"tasks_executed", {s.tasks_executed, p.tasks_executed}},
+      {"l1_hits", {s.l1_hits, p.l1_hits}},
+      {"l2_hits", {s.l2_hits, p.l2_hits}},
+      {"l2_misses", {s.l2_misses, p.l2_misses}},
+      {"writebacks", {s.writebacks, p.writebacks}},
+      {"invalidations", {s.invalidations, p.invalidations}},
+      {"mem_stall_cycles", {s.mem_stall_cycles, p.mem_stall_cycles}},
+      {"mem_queue_cycles", {s.mem_queue_cycles, p.mem_queue_cycles}},
+      {"mem_busy_cycles", {s.mem_busy_cycles, p.mem_busy_cycles}},
+      {"steals", {s.steals, p.steals}},
+  };
+  for (const auto& [name, v] : scalars) {
+    if (v.first != v.second) return num_diff(name, v.first, v.second);
+  }
+  if (auto d = vec_diff("core_busy_cycles", s.core_busy_cycles,
+                        p.core_busy_cycles);
+      !d.empty()) {
+    return d;
+  }
+  if (auto d = vec_diff("task_l2_misses", s.task_l2_misses, p.task_l2_misses);
+      !d.empty()) {
+    return d;
+  }
+  if (auto d = vec_diff("task_refs", s.task_refs, p.task_refs); !d.empty()) {
+    return d;
+  }
+  return "";
+}
+
+SerialDivergence verify_serial(CmpSimulator& sim, const TaskDag& dag,
+                               Scheduler& sched) {
+  SerialDivergence out;
+  const int threads = sim.sim_threads();
+  const SimResult par = sim.run(dag, sched);
+  out.committed_ops = sim.parallel_stats().committed_ops;
+
+  sim.set_sim_threads(1);
+  const SimResult ser = sim.run(dag, sched);
+  sim.set_sim_threads(threads);
+
+  out.detail = diff_sim_results(ser, par);
+  if (out.detail.empty()) return out;
+  out.diverged = true;
+  if (threads <= 1 || out.committed_ops == 0) return out;
+
+  auto capped_diverges = [&](uint64_t cap) {
+    sim.set_spec_commit_cap(cap);
+    const SimResult r = sim.run(dag, sched);
+    ++out.bisection_runs;
+    return !diff_sim_results(ser, r).empty();
+  };
+  // Search invariant: the cap-committed_ops run is the diverging full run
+  // (the cap never demotes before the last op), so `hi` starts known-bad;
+  // the cap-0 run commits everything serially and must match — if it does
+  // not, the demoted path itself is broken and there is no op to localize.
+  if (capped_diverges(0)) {
+    out.detail += " (diverges even with speculation disabled: commit cap 0)";
+    sim.set_spec_commit_cap(UINT64_MAX);
+    return out;
+  }
+  uint64_t lo = 0;
+  uint64_t hi = out.committed_ops;
+  while (lo + 1 < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (capped_diverges(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  sim.set_spec_commit_cap(UINT64_MAX);
+  // Cap hi diverges, cap hi-1 does not: committing op hi-1 speculatively
+  // is what flips the result.
+  out.first_divergent_op = hi - 1;
+  return out;
+}
+
+}  // namespace check
+}  // namespace cachesched

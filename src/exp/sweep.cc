@@ -13,6 +13,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "check/invariants.h"
 #include "exp/store.h"
 #include "harness/workload_registry.h"
 #include "robust/errors.h"
@@ -121,6 +122,7 @@ SweepRecord run_one(const SweepJob& job, const Workload& w,
   // results are byte-identical either way, so this never enters job or
   // store identity.
   if (options.sim_threads > 0) sim.set_sim_threads(options.sim_threads);
+  if (options.check.any()) sim.set_check(options.check);
   // Watchdog / cancellation / stall-fault poll: only attached when one
   // of them can fire, so the common case keeps the engine poll disabled.
   robust::RunGuard guard(options.job_timeout_ms, options.cancel);
@@ -135,7 +137,25 @@ SweepRecord run_one(const SweepJob& job, const Workload& w,
   rec.params = w.params;
   rec.num_tasks = w.dag.num_tasks();
   rec.total_refs = w.dag.total_refs();
-  rec.result = sim.run(w.dag, *s);
+  try {
+    rec.result = sim.run(w.dag, *s);
+  } catch (check::CheckViolation& e) {
+    // Attach the job's sweep coordinates so the CLI can write a crash
+    // reproducer for the exact failing point. Rethrown as-is: a check
+    // violation is a determinism bug, never retried or quarantined.
+    check::CheckViolation::Context ctx;
+    ctx.set = true;
+    ctx.app = job.app;
+    ctx.sched = job.sched;  // "seq" kept as-is; replay applies the same
+                            // cores=1/pdf rewrite this function did
+    ctx.cores = job.config.cores;
+    ctx.scale = job.opt.scale;
+    ctx.task_ws = job.opt.mergesort_task_ws;
+    ctx.fine_grained = job.opt.fine_grained;
+    ctx.seed = job.opt.seed;
+    e.set_context(std::move(ctx));
+    throw;
+  }
   return rec;
 }
 

@@ -210,6 +210,13 @@ struct SweepOptions {
   /// execution knob like `workers` — deliberately NOT part of job identity,
   /// workload keys, or store keys.
   int sim_threads = 0;
+  /// Runtime invariant checkers (src/check/checkspec.h) armed on every
+  /// job's simulator. Default-constructed = disarmed (a $CACHESCHED_CHECK
+  /// env arming still applies — the simulator constructor reads it). A
+  /// CheckViolation is a determinism bug, not a flaky job: it is never
+  /// retried or quarantined, and aborts the sweep with the job's
+  /// coordinates appended so the CLI can write a crash reproducer.
+  check::CheckSpec check;
 
   // Fault tolerance (src/robust/). The defaults preserve the historical
   // fail-fast contract: no watchdog, no retries, the first error aborts

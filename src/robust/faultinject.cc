@@ -63,7 +63,12 @@ constexpr const char* kSiteNames[kNumFaultSites] = {
     "store.write.short",  "store.rename.fail",
     "store.read.torrent", "alloc.workload_build",
     "engine.spec.conflict_storm", "engine.stall",
+    "sched.dispatch.stall", "sched.steal.contend",
 };
+
+bool is_stall_site(FaultSite s) {
+  return s == FaultSite::kEngineStall || s == FaultSite::kSchedDispatchStall;
+}
 
 std::string known_sites() {
   std::string s;
@@ -167,8 +172,10 @@ std::vector<FaultClause> parse_fault_spec(const std::string& spec) {
         } else if (key == "max") {
           c.max_fires = parse_u64(spec, key, val, 0, UINT64_MAX);
         } else if (key == "ms") {
-          if (c.site != FaultSite::kEngineStall) {
-            fail(spec, "ms is only valid for engine.stall");
+          if (!is_stall_site(c.site)) {
+            fail(spec,
+                 "ms is only valid for engine.stall and "
+                 "sched.dispatch.stall");
           }
           c.stall_ms = parse_u64(spec, key, val, 1, 60000);
         } else {
@@ -177,8 +184,8 @@ std::vector<FaultClause> parse_fault_spec(const std::string& spec) {
         }
       }
     }
-    if (c.site == FaultSite::kEngineStall && c.stall_ms == 0) {
-      fail(spec, "engine.stall requires ms=");
+    if (is_stall_site(c.site) && c.stall_ms == 0) {
+      fail(spec, name + " requires ms=");
     }
     out.push_back(c);
   }
@@ -214,8 +221,8 @@ void disarm_faults() {
 
 bool faults_armed() { return detail::g_any_armed; }
 
-uint64_t fault_stall_ms() {
-  const SiteState& s = g_sites[static_cast<int>(FaultSite::kEngineStall)];
+uint64_t fault_stall_ms(FaultSite site) {
+  const SiteState& s = g_sites[static_cast<int>(site)];
   return s.armed ? s.clause.stall_ms : 0;
 }
 

@@ -49,6 +49,18 @@
 //   engine.stall               engine poll points sleep `ms` per fire —
 //                              a pure time dilation (results unchanged)
 //                              used to test watchdogs and live kills.
+//   sched.dispatch.stall       task dispatch (both engines' start_task)
+//                              sleeps `ms` per fire — wall-clock only, so
+//                              results stay byte-identical while the
+//                              watchdog sees a scheduler that crawls.
+//   sched.steal.contend        a work-stealing steal attempt hits
+//                              contention: a steal-half degrades to
+//                              steal-one (the victim "won" the rest).
+//                              Deterministic — scheduler calls happen
+//                              only on the committing thread — so a
+//                              seeded schedule perturbs the steal pattern
+//                              reproducibly across the zoo's parameter
+//                              surface.
 #pragma once
 
 #include <cstdint>
@@ -65,6 +77,8 @@ enum class FaultSite : uint8_t {
   kAllocWorkloadBuild,
   kSpecConflictStorm,
   kEngineStall,
+  kSchedDispatchStall,
+  kSchedStealContend,
   kNumSites,
 };
 
@@ -80,7 +94,7 @@ struct FaultClause {
   uint64_t seed = 0;     // 0 = periodic; nonzero = pseudo-random schedule
   bool seeded = false;
   uint64_t max_fires = 0;  // 0 = unlimited
-  uint64_t stall_ms = 0;   // engine.stall only
+  uint64_t stall_ms = 0;   // stall sites (engine.stall, sched.dispatch.stall)
 };
 
 /// Parses a fault spec string. Throws std::invalid_argument on any
@@ -115,8 +129,9 @@ inline bool fault_point(FaultSite site) {
   return detail::fault_point_slow(site);
 }
 
-/// For engine.stall: the armed stall duration in ms (0 if unarmed).
-uint64_t fault_stall_ms();
+/// The armed stall duration in ms for a stall site — engine.stall (the
+/// default) or sched.dispatch.stall (0 if unarmed).
+uint64_t fault_stall_ms(FaultSite site = FaultSite::kEngineStall);
 
 /// Per-site counters since the last arm/disarm.
 struct FaultStats {

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
+#include <thread>
 
+#include "check/invariants.h"
+#include "robust/faultinject.h"
 #include "robust/guard.h"
 #include "sched/central_fifo_scheduler.h"
 #include "sched/pdf_scheduler.h"
@@ -80,10 +84,15 @@ struct CoreState {
 // same run (run_core) — the event the scan would pick next is this core's
 // anyway — so the per-reference path on the L2-dominated workloads never
 // leaves the run loop or spills its accumulator state.
-template <class S>
+// The loop is additionally templated on the checker type (src/check/):
+// the default NoCheck instantiation compiles every hook away under
+// `if constexpr`, so the disarmed hot path — the one the perf suite
+// gates — is untouched; an armed run instantiates the generic-scheduler
+// path with check::Checker and `chk` non-null.
+template <class S, class CK = check::NoCheck>
 SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
                    const TaskDag& dag, S& sched,
-                   const robust::RunGuard* guard) {
+                   const robust::RunGuard* guard, CK* chk = nullptr) {
   const int P = cfg.cores;
   const int line_shift =
       std::countr_zero(static_cast<unsigned>(cfg.line_bytes));
@@ -138,7 +147,16 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
   sched.reset(dag, sctx);
   sched.enqueue_ready(0, dag.roots());
 
+  if constexpr (CK::kArmed) chk->on_run_start(cfg, &dag, &l1, &l2);
+
   auto start_task = [&](int c, TaskId t, uint64_t now) {
+    if constexpr (CK::kArmed) chk->on_dispatch(c, t);
+    // Fault site sched.dispatch.stall: dispatch crawls in wall-clock time
+    // (results unchanged) so watchdogs see a slow scheduler.
+    if (robust::fault_point(robust::FaultSite::kSchedDispatchStall)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          robust::fault_stall_ms(robust::FaultSite::kSchedDispatchStall)));
+    }
     CoreState& core = cores[c];
     core.task = t;
     const std::span<const PackedRef> blocks = dag.blocks(t);
@@ -226,12 +244,17 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
           lat = cfg.l2_hit_cycles;
         }
         ++acc_l2_hits;
+        // Checker protocol: on_l2_hit runs *before* the invalidation loop
+        // so the checker can compute the expected invalidation set from
+        // its shadow presence mask and tick entries off via on_inval.
+        if constexpr (CK::kArmed) chk->on_l2_hit(c, line, write);
         if (write) {
           uint32_t others = e->presence & ~mybit;
           while (others) {
             const int i = std::countr_zero(others);
             others &= others - 1;
             l1[i].invalidate(line);
+            if constexpr (CK::kArmed) chk->on_inval(i, line);
             ++acc_invalidations;
           }
           e->presence &= mybit;
@@ -245,6 +268,7 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
         lat = ready - t;
         acc_stall += lat;
         e->presence = mybit;
+        if constexpr (CK::kArmed) chk->on_l2_miss(c, line, write, evd);
         // Non-inclusive L2: an eviction does not back-invalidate L1
         // copies (see header comment); a dirty victim is written
         // off-chip.
@@ -271,6 +295,9 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
           // still reach memory.
           mem.post_writeback(t);
         }
+      }
+      if constexpr (CK::kArmed) {
+        chk->on_l1_fill(c, line, write, ev.valid, ev.line, ev.dirty);
       }
       return (ipr - 1) + lat;
     };
@@ -321,6 +348,7 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
       acc_instr += ipr;
       if (SetAssocCache::Line* e = cache.access(op.v)) {
         e->dirty |= wr;
+        if constexpr (CK::kArmed) chk->on_l1_hit(c, op.v, wr);
         ++acc_l1_hits;
         time += ipr;
         busy += ipr;
@@ -360,6 +388,7 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
 
   auto do_complete = [&](int c, uint64_t t) {
     CoreState& core = cores[c];
+    if constexpr (CK::kArmed) chk->on_complete(c, core.task);
     sched.on_complete(c, core.task);
     ++res.tasks_executed;
     ++completed;
@@ -427,6 +456,8 @@ SimResult simulate(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
     }
   }
 
+  if constexpr (CK::kArmed) chk->on_run_end();
+
   res.cycles = end_time;
   res.instructions = acc_instr;
   res.l1_hits = acc_l1_hits;
@@ -459,7 +490,9 @@ int default_sim_threads() {
 }  // namespace
 
 CmpSimulator::CmpSimulator(const CmpConfig& config)
-    : cfg_(config), sim_threads_(default_sim_threads()) {
+    : cfg_(config),
+      sim_threads_(default_sim_threads()),
+      check_(check::default_check_spec()) {
   if (cfg_.cores < 1 || cfg_.cores > 32) {
     throw std::invalid_argument("1..32 cores supported");
   }
@@ -475,11 +508,35 @@ void CmpSimulator::set_sim_threads(int n) {
 
 SimResult CmpSimulator::run(const TaskDag& dag, Scheduler& sched) {
   par_stats_ = ParallelSimStats{};
+  check_stats_ = check::CheckStats{};
   if (sim_threads_ > 1) {
+    engine_impl::ParallelRunKnobs knobs;
+    knobs.conflict_stress = conflict_stress_;
+    knobs.commit_cap = commit_cap_;
+    knobs.diverge_at = diverge_at_;
+    if (check_.any()) {
+      check::Checker chk(check_);
+      knobs.checker = &chk;
+      const SimResult r = engine_impl::simulate_parallel(
+          cfg_, quantum_, collect_task_stats_, dag, sched, sim_threads_,
+          knobs, guard_, &par_stats_);
+      check_stats_ = chk.stats();
+      return r;
+    }
     return engine_impl::simulate_parallel(cfg_, quantum_, collect_task_stats_,
-                                          dag, sched, sim_threads_,
-                                          conflict_stress_, guard_,
-                                          &par_stats_);
+                                          dag, sched, sim_threads_, knobs,
+                                          guard_, &par_stats_);
+  }
+  if (check_.any()) {
+    // Armed runs take the generic-scheduler instantiation: checking is a
+    // verification mode, so devirtualized dispatch buys nothing, and one
+    // extra instantiation of the templated loop keeps the four disarmed
+    // fast paths untouched.
+    check::Checker chk(check_);
+    const SimResult r = simulate<Scheduler, check::Checker>(
+        cfg_, quantum_, collect_task_stats_, dag, sched, guard_, &chk);
+    check_stats_ = chk.stats();
+    return r;
   }
   if (auto* s = dynamic_cast<PdfScheduler*>(&sched)) {
     return simulate(cfg_, quantum_, collect_task_stats_, dag, *s, guard_);

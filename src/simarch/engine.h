@@ -34,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "check/checkspec.h"
+#include "check/invariants.h"
 #include "core/dag.h"
 #include "core/scheduler.h"
 #include "simarch/cache.h"
@@ -44,6 +46,9 @@ namespace cachesched {
 
 namespace robust {
 class RunGuard;  // robust/guard.h
+}
+namespace check {
+class Checker;  // check/invariants.h
 }
 
 struct SimResult {
@@ -110,6 +115,9 @@ struct ParallelSimStats {
   uint64_t snapshots = 0;    // snapshots taken (dispatches + refreshes)
   uint64_t demotions = 0;    // rollback-storm demotions to serial commit
                              // (0 or 1 per run; results unchanged)
+  uint64_t committed_ops = 0;  // run-buffer ops consumed by the committer —
+                               // the deterministic coordinate --verify=serial
+                               // bisects over (identical at all thread counts)
 };
 
 class CmpSimulator {
@@ -148,6 +156,31 @@ class CmpSimulator {
   /// Speculation diagnostics of the most recent run().
   const ParallelSimStats& parallel_stats() const { return par_stats_; }
 
+  /// Arms the runtime invariant checkers (src/check/) for subsequent
+  /// run() calls. Defaults to $CACHESCHED_CHECK (parsed once; unset =
+  /// disarmed). Disarmed, the serial engine's checked code compiles away
+  /// entirely (the run loop is templated on a no-op checker) and the
+  /// parallel engine's commit path pays one untaken branch per hook.
+  void set_check(const check::CheckSpec& spec) { check_ = spec; }
+  const check::CheckSpec& check() const { return check_; }
+
+  /// Checker statistics of the most recent armed run() (zeroed at the
+  /// start of every run) — tests assert the checkers actually ran, not
+  /// just that nothing threw.
+  const check::CheckStats& check_stats() const { return check_stats_; }
+
+  /// Test/bisection knob (--verify=serial): demote the parallel engine to
+  /// serial commit just before it consumes its `cap`-th run-buffer op, as
+  /// if a rollback storm fired there. Results are unchanged for a correct
+  /// engine — the bisection in check/verify.cc uses this to localize the
+  /// first committed op whose speculation diverges. UINT64_MAX = off.
+  void set_spec_commit_cap(uint64_t cap) { commit_cap_ = cap; }
+
+  /// Fault-planting knob for the bisection tests: corrupt the committed
+  /// timing (one extra cycle) when the parallel engine consumes committed
+  /// op `k`, iff speculation is still live there. UINT64_MAX = off.
+  void set_diverge_at(uint64_t k) { diverge_at_ = k; }
+
   /// Cooperative watchdog/cancellation: both engines poll `guard` every
   /// few outer event-loop iterations (robust/guard.h), so a run can be
   /// bounded by a wall-clock budget or aborted on SIGINT/SIGTERM. The
@@ -165,15 +198,28 @@ class CmpSimulator {
   bool conflict_stress_ = false;
   const robust::RunGuard* guard_ = nullptr;
   ParallelSimStats par_stats_;
+  check::CheckSpec check_;  // constructor applies $CACHESCHED_CHECK
+  check::CheckStats check_stats_;
+  uint64_t commit_cap_ = UINT64_MAX;
+  uint64_t diverge_at_ = UINT64_MAX;
 };
 
 namespace engine_impl {
+/// Parallel-engine knobs beyond the hot configuration (all default-off;
+/// see the CmpSimulator setters of the same names).
+struct ParallelRunKnobs {
+  bool conflict_stress = false;
+  uint64_t commit_cap = UINT64_MAX;
+  uint64_t diverge_at = UINT64_MAX;
+  check::Checker* checker = nullptr;  // armed invariant checker, or null
+};
+
 /// The speculative parallel engine (engine_parallel.cc). `stats` must be
 /// zeroed by the caller; `threads` >= 2; `guard` may be nullptr.
 SimResult simulate_parallel(const CmpConfig& cfg, uint64_t quantum,
                             bool collect_task_stats, const TaskDag& dag,
                             Scheduler& sched, int threads,
-                            bool conflict_stress,
+                            const ParallelRunKnobs& knobs,
                             const robust::RunGuard* guard,
                             ParallelSimStats* stats);
 }  // namespace engine_impl

@@ -37,6 +37,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -45,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/invariants.h"
 #include "robust/faultinject.h"
 #include "robust/guard.h"
 #include "simarch/engine.h"
@@ -154,14 +156,18 @@ struct CoreState {
 class ParallelSim {
  public:
   ParallelSim(const CmpConfig& cfg, uint64_t quantum, bool collect_stats,
-              const TaskDag& dag, Scheduler& sched, int threads, bool stress,
-              const robust::RunGuard* guard, ParallelSimStats* out)
+              const TaskDag& dag, Scheduler& sched, int threads,
+              const ParallelRunKnobs& knobs, const robust::RunGuard* guard,
+              ParallelSimStats* out)
       : cfg_(cfg),
         quantum_(quantum),
         collect_(collect_stats),
         dag_(dag),
         sched_(sched),
-        stress_(stress),
+        stress_(knobs.conflict_stress),
+        commit_cap_(knobs.commit_cap),
+        diverge_at_(knobs.diverge_at),
+        chk_(knobs.checker),
         guard_(guard),
         out_(out),
         P_(cfg.cores),
@@ -200,12 +206,25 @@ class ParallelSim {
   void demote();
   void self_produce(int c);
 
+  // One ring entry consumed, in global commit order. Returns the
+  // test-only timing corruption: +1 cycle at op `diverge_at_` while
+  // speculation is live. A serial baseline never runs this engine and a
+  // capped re-run demotes before the op, so --verify=serial bisection
+  // over the commit cap localizes exactly this op index.
+  uint64_t op_tick() {
+    const uint64_t k = committed_ops_++;
+    return (k == diverge_at_ && !demoted_) ? 1 : 0;
+  }
+
   const CmpConfig& cfg_;
   const uint64_t quantum_;
   const bool collect_;
   const TaskDag& dag_;
   Scheduler& sched_;
   const bool stress_;
+  const uint64_t commit_cap_;   // demote to serial before this committed op
+  const uint64_t diverge_at_;   // test knob: corrupt timing at this op
+  check::Checker* const chk_;   // armed invariant checker, or null
   const robust::RunGuard* const guard_;
   ParallelSimStats* const out_;
   const int P_;
@@ -231,6 +250,7 @@ class ParallelSim {
   bool demoted_ = false;
   uint64_t storm_window_start_ = 0;  // committed-op count at window start
   uint64_t storm_rollbacks_ = 0;     // rollbacks within the window
+  uint64_t committed_ops_ = 0;       // ring entries consumed, commit order
 
   SimResult* res_ = nullptr;
   size_t completed_ = 0;
@@ -262,6 +282,11 @@ void ParallelSim::take_snapshot(SpecCore& sc) {
 }
 
 void ParallelSim::start_task(int c, TaskId t, uint64_t now) {
+  if (chk_ != nullptr) chk_->on_dispatch(c, t);
+  if (robust::fault_point(robust::FaultSite::kSchedDispatchStall)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        robust::fault_stall_ms(robust::FaultSite::kSchedDispatchStall)));
+  }
   CoreState& core = cores_[c];
   core.task = t;
   core.time = std::max(core.time, now) + cfg_.task_dispatch_cycles;
@@ -383,12 +408,14 @@ uint64_t ParallelSim::commit_l2_access(uint64_t t, int c, const SpecOp& op) {
       lat = cfg_.l2_hit_cycles;
     }
     ++acc_l2_hits_;
+    if (chk_ != nullptr) chk_->on_l2_hit(c, line, write);
     if (write) {
       uint32_t others = e->presence & ~mybit;
       while (others) {
         const int i = std::countr_zero(others);
         others &= others - 1;
         deliver_inval(i, line);
+        if (chk_ != nullptr) chk_->on_inval(i, line);
         ++acc_invalidations_;
       }
       e->presence &= mybit;
@@ -403,6 +430,7 @@ uint64_t ParallelSim::commit_l2_access(uint64_t t, int c, const SpecOp& op) {
     acc_stall_ += lat;
     e->presence = mybit;
     if (evd.valid && evd.dirty) mem_.post_writeback(t);
+    if (chk_ != nullptr) chk_->on_l2_miss(c, line, write, evd);
   }
   if (op.vflags & kVictimValid) {
     SetAssocCache::Line* l2v = l2_.probe(op.vline);
@@ -412,6 +440,10 @@ uint64_t ParallelSim::commit_l2_access(uint64_t t, int c, const SpecOp& op) {
     } else if (op.vflags & kVictimDirty) {
       mem_.post_writeback(t);
     }
+  }
+  if (chk_ != nullptr) {
+    chk_->on_l1_fill(c, line, write, (op.vflags & kVictimValid) != 0,
+                     op.vline, (op.vflags & kVictimDirty) != 0);
   }
   return (ipr - 1) + lat;
 }
@@ -581,6 +613,15 @@ void ParallelSim::commit_run_core(int c, uint64_t other_min,
   bool do_access = core.state == CoreState::kPendingL2;
 
   for (;;) {
+    // Test knob (--verify=serial bisection): cut speculation over to
+    // serial in-place production just before consuming op commit_cap_.
+    // Demotion is semantics-preserving, so the capped run's result equals
+    // the uncapped one unless a divergence was injected after the cap.
+    if (!demoted_ && committed_ops_ >= commit_cap_) {
+      sc.tail.store(t, std::memory_order_release);
+      demote();
+      h = sc.head.load(std::memory_order_acquire);
+    }
     if (do_access) {
       do_access = false;
       // The pending reference was counted when it first missed; its ring
@@ -598,6 +639,7 @@ void ParallelSim::commit_run_core(int c, uint64_t other_min,
       const SpecOp op = sc.ring[t & (kRingCap - 1)];
       ++t;
       sc.tail.store(t, std::memory_order_release);
+      time += op_tick();
       const uint64_t cost = commit_l2_access(time, c, op);
       time += cost;
       busy += cost;
@@ -632,6 +674,7 @@ void ParallelSim::commit_run_core(int c, uint64_t other_min,
     const SpecOp op = sc.ring[t & (kRingCap - 1)];
     if (op.kind == kOpCompute) {
       ++t;
+      time += op_tick();
       time += op.v;
       busy += op.v;
       acc_instr_ += op.v;
@@ -641,6 +684,8 @@ void ParallelSim::commit_run_core(int c, uint64_t other_min,
     if (op.kind == kOpHit) {
       ++t;
       sc.tail.store(t, std::memory_order_release);
+      time += op_tick();
+      if (chk_ != nullptr) chk_->on_l1_hit(c, op.v, (op.meta & kBufWrite) != 0);
       ++refs;
       acc_instr_ += ipr;
       ++acc_l1_hits_;
@@ -656,6 +701,7 @@ void ParallelSim::commit_run_core(int c, uint64_t other_min,
     if (evt_key(time, c) < other_key) {
       ++t;
       sc.tail.store(t, std::memory_order_release);
+      time += op_tick();
       const uint64_t cost = commit_l2_access(time, c, op);
       time += cost;
       busy += cost;
@@ -690,6 +736,7 @@ void ParallelSim::commit_run_core(int c, uint64_t other_min,
 
 void ParallelSim::do_complete(int c, uint64_t t) {
   CoreState& core = cores_[c];
+  if (chk_ != nullptr) chk_->on_complete(c, core.task);
   sched_.on_complete(c, core.task);
   ++res_->tasks_executed;
   ++completed_;
@@ -735,6 +782,10 @@ SimResult ParallelSim::run() {
   sctx.l2_banks = cfg_.l2_banks;
   sched_.reset(dag_, sctx);
   sched_.enqueue_ready(0, dag_.roots());
+
+  // The parallel engine's live L1s run ahead of the commit point, so the
+  // checker audits them only through its own commit-order shadows.
+  if (chk_ != nullptr) chk_->on_run_start(cfg_, &dag_, nullptr, &l2_);
 
   for (int i = 0; i < P_; ++i) {
     const TaskId u = sched_.acquire(i);
@@ -784,6 +835,8 @@ SimResult ParallelSim::run() {
     }
   }  // workers joined
 
+  if (chk_ != nullptr) chk_->on_run_end();
+
   res.cycles = end_time_;
   res.instructions = acc_instr_;
   res.l1_hits = acc_l1_hits_;
@@ -798,6 +851,7 @@ SimResult ParallelSim::run() {
   for (int i = 0; i < P_; ++i) res.core_busy_cycles[i] = cores_[i].busy;
 
   for (int i = 0; i < P_; ++i) st_.snapshots += spec_[i]->snapshots;
+  st_.committed_ops = committed_ops_;
   *out_ = st_;
   return res;
 }
@@ -807,11 +861,11 @@ SimResult ParallelSim::run() {
 SimResult simulate_parallel(const CmpConfig& cfg, uint64_t quantum,
                             bool collect_task_stats, const TaskDag& dag,
                             Scheduler& sched, int threads,
-                            bool conflict_stress,
+                            const ParallelRunKnobs& knobs,
                             const robust::RunGuard* guard,
                             ParallelSimStats* stats) {
   ParallelSim sim(cfg, quantum, collect_task_stats, dag, sched, threads,
-                  conflict_stress, guard, stats);
+                  knobs, guard, stats);
   return sim.run();
 }
 

@@ -21,6 +21,7 @@
 #include "robust/faultinject.h"
 #include "robust/guard.h"
 #include "sched/pdf_scheduler.h"
+#include "sched/registry.h"
 #include "simarch/engine.h"
 
 namespace cachesched {
@@ -105,6 +106,87 @@ TEST(FaultSpec, BadSpecArmsNothing) {
                std::invalid_argument);
   EXPECT_FALSE(robust::faults_armed());
   EXPECT_FALSE(robust::fault_point(robust::FaultSite::kStoreWriteShort));
+}
+
+TEST(FaultSpec, SchedulerSitesParse) {
+  const auto stall = robust::parse_fault_spec("sched.dispatch.stall:ms=2");
+  ASSERT_EQ(stall.size(), 1u);
+  EXPECT_EQ(stall[0].site, robust::FaultSite::kSchedDispatchStall);
+  EXPECT_EQ(stall[0].stall_ms, 2u);
+
+  const auto contend =
+      robust::parse_fault_spec("sched.steal.contend:every=3,seed=9");
+  ASSERT_EQ(contend.size(), 1u);
+  EXPECT_EQ(contend[0].site, robust::FaultSite::kSchedStealContend);
+  EXPECT_TRUE(contend[0].seeded);
+
+  // The stall site needs a duration; the contention site takes none.
+  EXPECT_THROW(robust::parse_fault_spec("sched.dispatch.stall:every=2"),
+               std::invalid_argument);
+  EXPECT_THROW(robust::parse_fault_spec("sched.steal.contend:ms=5"),
+               std::invalid_argument);
+}
+
+TEST(FaultSpec, StealContentionDegradesStealsDeterministically) {
+  // Uneven fan-out that forces steals, under a steal-half policy so the
+  // contention fault (degrade to steal-one) has something to degrade.
+  DagBuilder b;
+  const TaskId root = b.add_task({}, {RefBlock::compute(1)});
+  for (int i = 0; i < 64; ++i) {
+    b.add_task({root}, {RefBlock::compute(200)});
+  }
+  const TaskDag dag = b.finish();
+  CmpConfig cfg = default_config(8);
+  cfg.task_dispatch_cycles = 0;
+
+  auto run_once = [&] {
+    auto s = make_scheduler("ws:steal=half");
+    CmpSimulator sim(cfg);
+    return sim.run(dag, *s);
+  };
+  const SimResult plain = run_once();
+  EXPECT_GT(plain.steals, 0u);
+
+  robust::arm_faults("sched.steal.contend:every=1");
+  const SimResult degraded = run_once();
+  const uint64_t fires = robust::fault_stats()
+      .fires[static_cast<int>(robust::FaultSite::kSchedStealContend)];
+  robust::arm_faults("sched.steal.contend:every=1");
+  const SimResult degraded2 = run_once();
+  robust::disarm_faults();
+
+  EXPECT_GT(fires, 0u) << "the contention site never fired";
+  EXPECT_EQ(degraded.tasks_executed, plain.tasks_executed);
+  // Same armed schedule => the degraded run is reproducible bit for bit.
+  EXPECT_EQ(degraded.cycles, degraded2.cycles);
+  EXPECT_EQ(degraded.steals, degraded2.steals);
+  // Steal-half taking one task at a time needs more steal events to move
+  // the same work.
+  EXPECT_GE(degraded.steals, plain.steals);
+}
+
+TEST(FaultSpec, DispatchStallLeavesSimulatedTimeUntouched) {
+  // The stall burns wall-clock inside the engine's dispatch path, not
+  // simulated cycles: results must be identical to the unarmed run.
+  DagBuilder b;
+  const TaskId root = b.add_task({}, {RefBlock::compute(1)});
+  for (int i = 0; i < 8; ++i) {
+    b.add_task({root}, {RefBlock::compute(50)});
+  }
+  const TaskDag dag = b.finish();
+  CmpConfig cfg = default_config(4);
+  cfg.task_dispatch_cycles = 0;
+  PdfScheduler s1, s2;
+  CmpSimulator sim(cfg);
+  const SimResult plain = sim.run(dag, s1);
+  FaultGuard faults("sched.dispatch.stall:every=2,ms=1,max=4");
+  const SimResult stalled = sim.run(dag, s2);
+  EXPECT_GT(robust::fault_stats()
+                .fires[static_cast<int>(robust::FaultSite::kSchedDispatchStall)],
+            0u);
+  EXPECT_EQ(plain.cycles, stalled.cycles);
+  EXPECT_EQ(plain.steals, stalled.steals);
+  EXPECT_EQ(plain.tasks_executed, stalled.tasks_executed);
 }
 
 // ----------------------------------------------------------- schedules

@@ -4,10 +4,30 @@
 //                        [--scale=0.125] [--tech=default|45nm]
 //                        [--l2-hit=N] [--mem-latency=N] [--task-ws=BYTES]
 //                        [--sim-threads=N]
+//                        [--check=SPEC] [--verify=none|shadow|serial]
+//                        [--repro-out=FILE]  # runtime invariant checking
+//                        (grammar: src/check/checkspec.h; also armed by
+//                        $CACHESCHED_CHECK). --verify=shadow runs the
+//                        reference cache model in lockstep (coherence+lru
+//                        at period 1); --verify=serial additionally
+//                        re-runs a --sim-threads=N simulation serially,
+//                        compares SimResults field by field and bisects
+//                        any divergence to the first divergent committed
+//                        op. A violation writes a crash reproducer
+//                        (default crash.repro) and exits 4.
+//                        [--diverge-at=K]  # test knob: corrupt the
+//                        parallel engine's timing at committed op K, so
+//                        CI can assert the --verify=serial failure path
+//                        (bisection, reproducer, exit code) end to end.
 //   cachesched_cli trace --app=hashjoin --cores=8 --out=join.dag
 //                        [--scale=0.125]            # collect once...
 //   cachesched_cli replay --dag=join.dag --cores=8 [--sched=pdf]
 //                        [--scale=0.125] [--sim-threads=N]  # ...simulate many
+//                        (accepts --check/--verify/--repro-out like run)
+//   cachesched_cli replay-crash --repro=crash.repro  # re-create the run a
+//                        crash reproducer captured, with the same checkers
+//                        armed: exits 4 if the violation reproduces, 0 if
+//                        the run is clean (format: src/check/reproducer.h)
 //   cachesched_cli configs                          # print Tables 2 and 3
 //   cachesched_cli list                             # registered schedulers
 //                                                   # and workloads
@@ -25,6 +45,10 @@
 //                        store, simulate + persist only the rest
 //   cachesched_cli sweep ... --store=DIR --shard=i/N  # simulate only
 //                        shard i of the matrix into the shared store
+//   cachesched_cli sweep ... [--check=SPEC] [--repro-out=FILE]  # arm the
+//                        invariant checkers on every job; a violation
+//                        aborts the sweep (never quarantined), writes a
+//                        reproducer for the failing job and exits 4
 //   cachesched_cli sweep ... [--job-timeout=MS] [--retries=N]
 //                        [--retry-backoff=MS] [--quarantine=BOOL]
 //                        [--faults=SPEC]   # fault tolerance: per-job
@@ -62,8 +86,10 @@
 //
 // Exit codes (util/cli.h ExitCode): 0 success, 1 runtime error, 2 usage
 // error (unknown flags/subcommands, bad spec strings), 3 sweep completed
-// with quarantined jobs / merge assembled with holes, 130 interrupted by
-// SIGINT/SIGTERM after a graceful drain. Errors go to stderr.
+// with quarantined jobs / merge assembled with holes, 4 an armed checker
+// caught an invariant violation or --verify found a divergence (a crash
+// reproducer was written), 130 interrupted by SIGINT/SIGTERM after a
+// graceful drain. Errors go to stderr.
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
@@ -74,6 +100,10 @@
 #include <string>
 #include <vector>
 
+#include "check/checkspec.h"
+#include "check/invariants.h"
+#include "check/reproducer.h"
+#include "check/verify.h"
 #include "core/dag_io.h"
 #include "exp/store.h"
 #include "exp/sweep.h"
@@ -182,17 +212,105 @@ int sim_threads_from_args(const CliArgs& args) {
   return n;
 }
 
-void report(const TaskDag& dag, const CmpConfig& cfg,
-            const std::vector<std::string>& scheds,
-            std::optional<uint64_t> quantum = {}, int sim_threads = 0) {
+/// The --check/--verify/--repro-out vocabulary of run and replay.
+/// --verify=shadow arms the lockstep reference cache model (coherence +
+/// lru at period 1) on top of whatever --check armed; --verify=serial
+/// additionally re-runs the simulation serially and bisects divergences
+/// (check/verify.h).
+struct CheckFlags {
+  check::CheckSpec check;       // armed checkers (incl. --verify=shadow)
+  std::string verify = "none";  // none | shadow | serial
+  std::string repro_out = "crash.repro";
+  // Test knob (CI's exit-code contract check): corrupt the parallel
+  // engine's timing at committed op K so --verify=serial has a real
+  // divergence to localize. UINT64_MAX = off.
+  uint64_t diverge_at = UINT64_MAX;
+};
+
+int check_flags_from_args(const CliArgs& args, CheckFlags* out) {
+  const std::string cs = args.get("check", "");
+  const std::string vs = args.get("verify", "none");
+  out->repro_out = args.get("repro-out", "crash.repro");
+  const int64_t da = args.get_int("diverge-at", -1);
+  if (da >= 0) out->diverge_at = static_cast<uint64_t>(da);
+  try {
+    if (!cs.empty()) out->check = check::CheckSpec::parse(cs);
+    if (vs == "shadow") {
+      out->check.coherence = true;
+      out->check.lru = true;
+      out->check.period = 1;
+    } else if (vs != "none" && vs != "serial") {
+      throw std::invalid_argument("--verify must be none, shadow or serial "
+                                  "(got \"" + vs + "\")");
+    }
+    out->verify = vs;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "cachesched_cli: " << e.what() << "\n";
+    return kExitUsage;
+  }
+  return kExitOk;
+}
+
+/// Reports a violation/divergence, writes the crash reproducer, and
+/// returns kExitVerifyFailed for the caller to return.
+int fail_verify(const CheckFlags& cf, const check::CrashRepro& repro) {
+  try {
+    repro.save(cf.repro_out);
+    std::cerr << "cachesched_cli: crash reproducer written to "
+              << cf.repro_out << "; replay with:\n  cachesched_cli "
+              << "replay-crash --repro=" << cf.repro_out << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "cachesched_cli: " << e.what() << "\n";
+  }
+  return kExitVerifyFailed;
+}
+
+/// Runs every scheduler and prints the result table. `cf`/`base` carry
+/// the check configuration and the reproducer identity of the run (base's
+/// sched/verify/op_index/violation fields are filled in here); an
+/// invariant violation or serial divergence writes the reproducer and
+/// returns kExitVerifyFailed.
+int report(const TaskDag& dag, const CmpConfig& cfg,
+           const std::vector<std::string>& scheds,
+           std::optional<uint64_t> quantum, int sim_threads,
+           const CheckFlags& cf, check::CrashRepro base) {
   Table t({"sched", "cycles", "L2miss/1Kinstr", "l1_hits", "l2_hits",
            "l2_misses", "bw_util%", "core_util%", "steals"});
+  base.verify = cf.verify;
   for (const auto& sched : scheds) {
     CmpSimulator sim(cfg);
     if (quantum) sim.set_quantum_cycles(*quantum);
     if (sim_threads > 0) sim.set_sim_threads(sim_threads);
+    if (cf.check.any()) sim.set_check(cf.check);
+    if (cf.diverge_at != UINT64_MAX) sim.set_diverge_at(cf.diverge_at);
     auto s = make_scheduler(sched);
-    const SimResult r = sim.run(dag, *s);
+    base.sched = sched;
+    SimResult r;
+    try {
+      r = sim.run(dag, *s);
+      if (cf.verify == "serial" && sim.sim_threads() > 1) {
+        const check::SerialDivergence d = check::verify_serial(sim, dag, *s);
+        if (d.diverged) {
+          std::cerr << "cachesched_cli: serial verification FAILED for "
+                    << sched << ": " << d.detail;
+          if (d.first_divergent_op != UINT64_MAX) {
+            std::cerr << " (first divergent committed op "
+                      << d.first_divergent_op << ", localized in "
+                      << d.bisection_runs << " bisection runs)";
+          }
+          std::cerr << "\n";
+          base.op_index =
+              d.first_divergent_op == UINT64_MAX ? 0 : d.first_divergent_op;
+          base.violation = "serial divergence: " + d.detail;
+          return fail_verify(cf, base);
+        }
+      }
+    } catch (const check::CheckViolation& e) {
+      std::cerr << "cachesched_cli: " << e.what() << "\n";
+      base.op_index = e.op_index();
+      base.violation = e.what();
+      return fail_verify(cf, base);
+    }
     t.add_row({r.scheduler, Table::num(r.cycles),
                Table::num(r.l2_misses_per_kilo_instr(), 3),
                Table::num(r.l1_hits), Table::num(r.l2_hits),
@@ -203,6 +321,24 @@ void report(const TaskDag& dag, const CmpConfig& cfg,
   }
   std::cout << cfg.describe() << "\n";
   t.emit();
+  return kExitOk;
+}
+
+/// The reproducer identity shared by run and replay: everything needed
+/// to re-create the run except the per-scheduler fields report() fills.
+check::CrashRepro base_repro(const CliArgs& args, const CheckFlags& cf,
+                             const AppOptions& opt, int sim_threads) {
+  check::CrashRepro r;
+  r.tech = args.get("tech", "default");
+  r.cores = static_cast<int>(args.get_int("cores", 8));
+  r.scale = opt.scale;
+  r.task_ws = opt.mergesort_task_ws;
+  r.fine_grained = opt.fine_grained;
+  r.seed = opt.seed;
+  r.sim_threads = sim_threads;
+  r.overrides = overrides_from_args(args);
+  r.check = cf.check.str();
+  return r;
 }
 
 int cmd_run(const CliArgs& args) {
@@ -213,12 +349,16 @@ int cmd_run(const CliArgs& args) {
   opt.fine_grained = args.get_bool("fine-grained", true);
   const std::vector<std::string> scheds = sched_list(args);
   if (const int rc = check_scheds(scheds)) return rc;
+  CheckFlags cf;
+  if (const int rc = check_flags_from_args(args, &cf)) return rc;
+  const int sim_threads = sim_threads_from_args(args);
   const Workload w = make_workload(args.get("app", "mergesort"), cfg, opt);
   std::cout << w.name << ": " << w.params << " (" << w.dag.num_tasks()
             << " tasks, " << w.dag.total_refs() << " refs)\n";
-  report(w.dag, cfg, scheds, overrides_from_args(args).quantum_cycles,
-         sim_threads_from_args(args));
-  return 0;
+  check::CrashRepro base = base_repro(args, cf, opt, sim_threads);
+  base.workload = args.get("app", "mergesort");
+  return report(w.dag, cfg, scheds, overrides_from_args(args).quantum_cycles,
+                sim_threads, cf, std::move(base));
 }
 
 int cmd_trace(const CliArgs& args) {
@@ -245,12 +385,93 @@ int cmd_replay(const CliArgs& args) {
   }
   const std::vector<std::string> scheds = sched_list(args);
   if (const int rc = check_scheds(scheds)) return rc;
+  CheckFlags cf;
+  if (const int rc = check_flags_from_args(args, &cf)) return rc;
+  const int sim_threads = sim_threads_from_args(args);
   const TaskDag dag = load_dag(path);
   std::cout << "loaded " << dag.num_tasks() << " tasks / " << dag.total_refs()
             << " refs from " << path << "\n";
-  report(dag, config_from_args(args), scheds,
-         overrides_from_args(args).quantum_cycles, sim_threads_from_args(args));
-  return 0;
+  AppOptions opt;
+  opt.scale = args.get_double("scale", 0.125);
+  check::CrashRepro base = base_repro(args, cf, opt, sim_threads);
+  // A replayed DAG has no generator spec; replay-crash resolves the
+  // "dagfile:" prefix by loading the same file.
+  base.workload = "dagfile:" + path;
+  return report(dag, config_from_args(args), scheds,
+                overrides_from_args(args).quantum_cycles, sim_threads, cf,
+                std::move(base));
+}
+
+/// `replay-crash`: re-creates the run a crash reproducer captured —
+/// same workload, scheduler, configuration, thread count and armed
+/// checkers — and reports whether the violation reproduces.
+int cmd_replay_crash(const CliArgs& args) {
+  const std::string path = args.get("repro", "");
+  if (path.empty()) {
+    std::cerr << "replay-crash: --repro=FILE required\n";
+    return kExitUsage;
+  }
+  if (const int rc = args.check_unused()) return rc;
+  const check::CrashRepro r = check::CrashRepro::load(path);
+  std::cerr << "replay-crash: " << r.workload << " / " << r.sched
+            << " cores=" << r.cores << " scale=" << r.scale
+            << " sim-threads=" << r.sim_threads
+            << (r.check.empty() ? "" : " check=" + r.check)
+            << " verify=" << r.verify << "\n";
+  std::cerr << "replay-crash: recorded violation at op " << r.op_index
+            << ": " << r.violation << "\n";
+
+  CmpConfig cfg = r.tech == "45nm" ? single_tech_45nm_config(r.cores)
+                                   : default_config(r.cores);
+  cfg = cfg.scaled(r.scale);
+  r.overrides.apply(cfg);
+  std::string sched = r.sched;
+  if (sched == kSequentialSched) {  // mirror the sweep's seq-job rewrite
+    cfg.cores = 1;
+    cfg.name += "-seq";
+    sched = "pdf";
+  }
+
+  AppOptions opt;
+  opt.scale = r.scale;
+  opt.mergesort_task_ws = r.task_ws;
+  opt.fine_grained = r.fine_grained;
+  opt.seed = r.seed;
+  std::optional<Workload> built;
+  std::optional<TaskDag> loaded;
+  const TaskDag* dag;
+  if (r.workload.rfind("dagfile:", 0) == 0) {
+    loaded.emplace(load_dag(r.workload.substr(8)));
+    dag = &*loaded;
+  } else {
+    built.emplace(make_workload(r.workload, cfg, opt));
+    dag = &built->dag;
+  }
+
+  CmpSimulator sim(cfg);
+  if (r.overrides.quantum_cycles) {
+    sim.set_quantum_cycles(*r.overrides.quantum_cycles);
+  }
+  if (r.sim_threads > 0) sim.set_sim_threads(r.sim_threads);
+  if (!r.check.empty()) sim.set_check(check::CheckSpec::parse(r.check));
+  auto s = make_scheduler(sched);
+  try {
+    (void)sim.run(*dag, *s);
+    if (r.verify == "serial" && sim.sim_threads() > 1) {
+      const check::SerialDivergence d = check::verify_serial(sim, *dag, *s);
+      if (d.diverged) {
+        std::cerr << "replay-crash: REPRODUCED serial divergence: "
+                  << d.detail << " (first divergent committed op "
+                  << d.first_divergent_op << ")\n";
+        return kExitVerifyFailed;
+      }
+    }
+  } catch (const check::CheckViolation& e) {
+    std::cerr << "replay-crash: REPRODUCED: " << e.what() << "\n";
+    return kExitVerifyFailed;
+  }
+  std::cout << "replay-crash: violation did NOT reproduce (clean run)\n";
+  return kExitOk;
 }
 
 /// The sweep job-matrix flags, shared verbatim by `sweep` and
@@ -294,6 +515,14 @@ int cmd_sweep(const CliArgs& args) {
   // (exit 3) rather than aborting the whole matrix. The library default
   // stays fail-fast; pass --quarantine=false to get it back.
   opt.quarantine = args.get_bool("quarantine", true);
+  const std::string check_spec = args.get("check", "");
+  const std::string repro_out = args.get("repro-out", "crash.repro");
+  try {
+    if (!check_spec.empty()) opt.check = check::CheckSpec::parse(check_spec);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "cachesched_cli: " << e.what() << "\n";
+    return kExitUsage;
+  }
   opt.cancel = [] { return g_signal != 0; };
   if (args.get_bool("progress", false)) {
     opt.on_result = [](const SweepRecord& r, size_t done, size_t total) {
@@ -369,6 +598,35 @@ int cmd_sweep(const CliArgs& args) {
   SweepResults res;
   try {
     res = run_sweep(jobs, opt);
+  } catch (const check::CheckViolation& e) {
+    std::cerr << "sweep: invariant violation: " << e.what() << "\n";
+    const check::CheckViolation::Context& c = e.context();
+    if (c.set) {
+      check::CrashRepro repro;
+      repro.workload = c.app;
+      repro.sched = c.sched;
+      repro.tech = spec.tech;
+      repro.cores = c.cores;
+      repro.scale = c.scale;
+      repro.task_ws = c.task_ws;
+      repro.fine_grained = c.fine_grained;
+      repro.seed = c.seed;
+      repro.sim_threads = opt.sim_threads;
+      repro.overrides = spec.overrides;
+      repro.check = opt.check.any() ? opt.check.str()
+                                    : check::default_check_spec().str();
+      repro.op_index = e.op_index();
+      repro.violation = e.what();
+      try {
+        repro.save(repro_out);
+        std::cerr << "sweep: crash reproducer written to " << repro_out
+                  << "; replay with:\n  cachesched_cli replay-crash --repro="
+                  << repro_out << "\n";
+      } catch (const std::exception& save_err) {
+        std::cerr << "sweep: " << save_err.what() << "\n";
+      }
+    }
+    return kExitVerifyFailed;
   } catch (const robust::SweepInterrupted& e) {
     std::cerr << "sweep: interrupted by signal " << static_cast<int>(g_signal)
               << " after " << e.completed() << "/" << e.total()
@@ -441,6 +699,8 @@ int cmd_sweep_merge(const CliArgs& args) {
   args.get_int("retries", 0);
   args.get_int("retry-backoff", 0);
   args.get_bool("quarantine", true);
+  args.get("check", "");
+  args.get("repro-out", "");
   if (const int rc = args.check_unused()) return rc;
   if (store_dir.empty()) {
     std::cerr << "sweep merge: --store=DIR required\n";
@@ -572,8 +832,8 @@ int cmd_configs() {
 
 int usage() {
   std::cerr << "usage: cachesched_cli "
-               "{run|trace|replay|configs|list|sweep|sweep merge|perf} "
-               "[options]\n"
+               "{run|trace|replay|replay-crash|configs|list|sweep|"
+               "sweep merge|perf} [options]\n"
                "see the header of tools/cachesched_cli.cc for options\n";
   return kExitUsage;
 }
@@ -610,6 +870,7 @@ int main(int argc, char** argv) {
     else if (cmd == "run") rc = cmd_run(args);
     else if (cmd == "trace") rc = cmd_trace(args);
     else if (cmd == "replay") rc = cmd_replay(args);
+    else if (cmd == "replay-crash") rc = cmd_replay_crash(args);
     else if (cmd == "configs") rc = cmd_configs();
     else if (cmd == "list") rc = cmd_list();
     else if (cmd == "sweep") rc = cmd_sweep(args);
